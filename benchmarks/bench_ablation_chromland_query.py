@@ -1,0 +1,58 @@
+"""Ablation: ChromLand query strategy — Proposition 2 vs Theorem 5.
+
+The simple strategy is O(k); the auxiliary-graph strategy is O(k^2) but
+strictly tighter.  This ablation quantifies both sides of that trade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chromland import ChromLandIndex, local_search_selection
+from repro.eval.metrics import evaluate_oracle
+
+from conftest import BENCH_K, BENCH_SEED, run_queries
+
+
+@pytest.fixture(scope="module")
+def both_modes(biogrid):
+    selection = local_search_selection(biogrid, BENCH_K, iterations=40,
+                                       seed=BENCH_SEED)
+    aux = ChromLandIndex(biogrid, selection.landmarks, selection.colors,
+                         query_mode="auxiliary").build()
+    simple = ChromLandIndex(biogrid, selection.landmarks, selection.colors,
+                            query_mode="simple").build()
+    return aux, simple
+
+
+def test_auxiliary_queries(benchmark, both_modes, biogrid_workload):
+    aux, _ = both_modes
+    benchmark(run_queries, aux, biogrid_workload)
+    metrics = evaluate_oracle(aux, biogrid_workload)
+    benchmark.extra_info["abs_error"] = round(metrics.absolute_error, 3)
+    benchmark.extra_info["fn_pct"] = round(metrics.false_negative_percent, 1)
+
+
+def test_simple_queries(benchmark, both_modes, biogrid_workload):
+    _, simple = both_modes
+    benchmark(run_queries, simple, biogrid_workload)
+    metrics = evaluate_oracle(simple, biogrid_workload)
+    benchmark.extra_info["abs_error"] = round(metrics.absolute_error, 3)
+    benchmark.extra_info["fn_pct"] = round(metrics.false_negative_percent, 1)
+
+
+def test_auxiliary_strictly_dominates_quality(both_modes, biogrid_workload):
+    aux, simple = both_modes
+    aux_metrics = evaluate_oracle(aux, biogrid_workload)
+    simple_metrics = evaluate_oracle(simple, biogrid_workload)
+    assert aux_metrics.false_negative_fraction <= (
+        simple_metrics.false_negative_fraction
+    )
+    # Fewer answers are finite under 'simple', and each finite answer is
+    # >= the auxiliary answer, so average error can only move up on the
+    # common set; assert the headline combined badness instead.
+    aux_bad = aux_metrics.relative_error + 5 * aux_metrics.false_negative_fraction
+    simple_bad = (
+        simple_metrics.relative_error + 5 * simple_metrics.false_negative_fraction
+    )
+    assert aux_bad <= simple_bad + 1e-9

@@ -1,0 +1,45 @@
+"""Ablation: PowCov query estimator — upper bound vs median (Potamias et al.).
+
+The paper uses the triangle-inequality upper bound; the median of the
+per-landmark bounds trades one-sidedness for robustness.  This ablation
+measures both quality profiles on the same index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.powcov import PowCovIndex
+from repro.eval.metrics import evaluate_oracle
+
+from conftest import run_queries
+
+
+@pytest.fixture(scope="module")
+def estimators(biogrid, biogrid_landmarks):
+    upper = PowCovIndex(biogrid, biogrid_landmarks, estimator="upper").build()
+    median = PowCovIndex(biogrid, biogrid_landmarks, estimator="median").build()
+    return upper, median
+
+
+def test_upper_estimator(benchmark, estimators, biogrid_workload):
+    upper, _ = estimators
+    benchmark(run_queries, upper, biogrid_workload)
+    metrics = evaluate_oracle(upper, biogrid_workload)
+    benchmark.extra_info["abs_error"] = round(metrics.absolute_error, 3)
+    benchmark.extra_info["exact_pct"] = round(metrics.exact_percent, 1)
+
+
+def test_median_estimator(benchmark, estimators, biogrid_workload):
+    _, median = estimators
+    benchmark(run_queries, median, biogrid_workload)
+    metrics = evaluate_oracle(median, biogrid_workload)
+    benchmark.extra_info["abs_error"] = round(metrics.absolute_error, 3)
+
+
+def test_upper_is_tighter_on_average(estimators, biogrid_workload):
+    upper, median = estimators
+    upper_metrics = evaluate_oracle(upper, biogrid_workload)
+    median_metrics = evaluate_oracle(median, biogrid_workload)
+    # The upper estimator is the min over landmarks, hence never larger.
+    assert upper_metrics.absolute_error <= median_metrics.absolute_error

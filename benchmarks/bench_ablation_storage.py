@@ -1,0 +1,45 @@
+"""Ablation: PowCov storage layout — flat distance-sorted lists vs tries.
+
+Section 3.1 proposes grouping same-distance label sets into prefix trees;
+this ablation measures the query-time and answers-identical trade-off of
+that choice against the flat layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.powcov import PowCovIndex
+
+from conftest import run_queries
+
+
+@pytest.fixture(scope="module")
+def indexes(biogrid, biogrid_landmarks):
+    flat = PowCovIndex(biogrid, biogrid_landmarks, storage="flat").build()
+    trie = PowCovIndex(biogrid, biogrid_landmarks, storage="trie").build()
+    packed = PowCovIndex(biogrid, biogrid_landmarks, storage="packed").build()
+    return flat, trie, packed
+
+
+def test_flat_queries(benchmark, indexes, biogrid_workload):
+    flat, _, _ = indexes
+    benchmark(run_queries, flat, biogrid_workload)
+
+
+def test_trie_queries(benchmark, indexes, biogrid_workload):
+    _, trie, _ = indexes
+    benchmark(run_queries, trie, biogrid_workload)
+
+
+def test_packed_queries(benchmark, indexes, biogrid_workload):
+    _, _, packed = indexes
+    benchmark(run_queries, packed, biogrid_workload)
+
+
+def test_layouts_agree(indexes, biogrid_workload):
+    flat, trie, packed = indexes
+    for q in biogrid_workload.queries[:200]:
+        reference = flat.query(q.source, q.target, q.label_mask)
+        assert trie.query(q.source, q.target, q.label_mask) == reference
+        assert packed.query(q.source, q.target, q.label_mask) == reference

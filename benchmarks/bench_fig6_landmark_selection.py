@@ -1,0 +1,78 @@
+"""Benchmark: Figure 6 — landmark-selection strategies (cost and quality).
+
+Times each selector and records the relative error its landmarks give the
+corresponding index, asserting the paper's headline: the proposed
+selectors beat random selection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chromland import ChromLandIndex, local_search_selection, random_selection
+from repro.core.powcov import PowCovIndex
+from repro.eval.metrics import evaluate_oracle
+from repro.landmarks import select_landmarks
+
+from conftest import BENCH_K, BENCH_SEED
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    ["greedy-mvc", "random", "degree", "betweenness", "vertex-cover-degree"],
+)
+def test_selection_cost(benchmark, biogrid, strategy):
+    landmarks = benchmark.pedantic(
+        lambda: select_landmarks(biogrid, BENCH_K, strategy=strategy,
+                                 seed=BENCH_SEED),
+        rounds=2, iterations=1,
+    )
+    assert len(landmarks) == BENCH_K
+
+
+def test_local_search_cost(benchmark, biogrid):
+    selection = benchmark.pedantic(
+        lambda: local_search_selection(biogrid, BENCH_K, iterations=40,
+                                       seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["objective"] = round(selection.objective, 1)
+
+
+def test_powcov_greedy_beats_random(biogrid, biogrid_workload):
+    def error_for(strategy):
+        landmarks = select_landmarks(biogrid, BENCH_K, strategy=strategy,
+                                     seed=BENCH_SEED)
+        index = PowCovIndex(biogrid, landmarks).build()
+        return evaluate_oracle(index, biogrid_workload).relative_error
+
+    greedy = error_for("greedy-mvc")
+    rand = sum(
+        evaluate_oracle(
+            PowCovIndex(
+                biogrid,
+                select_landmarks(biogrid, BENCH_K, "random", seed=s),
+            ).build(),
+            biogrid_workload,
+        ).relative_error
+        for s in range(3)
+    ) / 3
+    assert greedy <= rand * 1.1  # allow small-sample noise
+
+
+def test_chromland_local_search_beats_random(biogrid, biogrid_workload):
+    selection = local_search_selection(biogrid, BENCH_K, iterations=60,
+                                       seed=BENCH_SEED)
+    searched = evaluate_oracle(
+        ChromLandIndex(biogrid, selection.landmarks, selection.colors).build(),
+        biogrid_workload,
+    )
+    rand_sel = random_selection(biogrid, BENCH_K, seed=BENCH_SEED)
+    rand = evaluate_oracle(
+        ChromLandIndex(biogrid, rand_sel.landmarks, rand_sel.colors).build(),
+        biogrid_workload,
+    )
+    # Compare by a combined badness: error + false-negative mass.
+    searched_badness = searched.relative_error + 5 * searched.false_negative_fraction
+    rand_badness = rand.relative_error + 5 * rand.false_negative_fraction
+    assert searched_badness <= rand_badness * 1.1

@@ -1,0 +1,78 @@
+"""Micro-benchmarks for the traversal and trie substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trie import LabelSetTrie
+from repro.graph.traversal import (
+    bidirectional_constrained_bfs,
+    constrained_bfs,
+    constrained_bfs_tree,
+    constrained_dijkstra,
+    monochromatic_sp_labels,
+)
+
+from conftest import BENCH_SEED
+
+
+def test_constrained_bfs(benchmark, biogrid):
+    benchmark(constrained_bfs, biogrid, 0, 0b1011)
+
+
+def test_constrained_bfs_tree(benchmark, biogrid):
+    benchmark(constrained_bfs_tree, biogrid, 0, 0b1011)
+
+
+def test_bidirectional_bfs(benchmark, biogrid):
+    rng = np.random.default_rng(BENCH_SEED)
+    pairs = [
+        (int(rng.integers(biogrid.num_vertices)),
+         int(rng.integers(biogrid.num_vertices)))
+        for _ in range(20)
+    ]
+
+    def run():
+        return sum(
+            bidirectional_constrained_bfs(biogrid, s, t, 0b1111111) != float("inf")
+            for s, t in pairs
+        )
+
+    benchmark(run)
+
+
+def test_constrained_dijkstra(benchmark, youtube):
+    benchmark(constrained_dijkstra, youtube, 0, 0b10111)
+
+
+def test_monochromatic_labels(benchmark, biogrid):
+    benchmark(monochromatic_sp_labels, biogrid, 0)
+
+
+@pytest.fixture(scope="module")
+def big_trie():
+    rng = np.random.default_rng(BENCH_SEED)
+    trie = LabelSetTrie()
+    for _ in range(3000):
+        trie.insert(int(rng.integers(1, 1 << 12)))
+    return trie
+
+
+def test_trie_insert(benchmark):
+    rng = np.random.default_rng(BENCH_SEED)
+    masks = [int(rng.integers(1, 1 << 12)) for _ in range(2000)]
+
+    def build():
+        trie = LabelSetTrie()
+        for mask in masks:
+            trie.insert(mask)
+        return trie
+
+    benchmark(build)
+
+
+def test_trie_subset_probe(benchmark, big_trie):
+    rng = np.random.default_rng(1)
+    probes = [int(rng.integers(1, 1 << 12)) for _ in range(2000)]
+    benchmark(lambda: sum(big_trie.contains_subset_of(p) for p in probes))

@@ -1,0 +1,36 @@
+"""Benchmark: speed-up scaling with graph size (EXPERIMENTS.md supplement).
+
+The paper's largest speed-ups appear on its largest graphs; this bench
+sweeps two dataset scales and records the speed-up growth in extra_info.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scaling import scaling_sweep
+
+from conftest import BENCH_SEED
+
+
+@pytest.mark.parametrize("dataset", ["biogrid-sim", "youtube-sim"])
+def test_scaling_sweep(benchmark, dataset):
+    points = benchmark.pedantic(
+        lambda: scaling_sweep(
+            dataset=dataset, scales=(0.15, 0.4), k=10, num_pairs=50,
+            seed=BENCH_SEED, chromland_iterations=40,
+        ),
+        rounds=1, iterations=1,
+    )
+    small, large = points
+    benchmark.extra_info["speedup_small"] = round(small.powcov_speedup, 1)
+    benchmark.extra_info["speedup_large"] = round(large.powcov_speedup, 1)
+    benchmark.extra_info["exact_ms_small"] = round(
+        small.exact_query_seconds * 1e3, 3
+    )
+    benchmark.extra_info["exact_ms_large"] = round(
+        large.exact_query_seconds * 1e3, 3
+    )
+    # Exact query cost must grow with the graph; that is what drives the
+    # paper's speed-up scaling.
+    assert large.exact_query_seconds > small.exact_query_seconds

@@ -1,0 +1,49 @@
+"""Benchmark: Table 1 inputs — dataset construction, diameter, workloads.
+
+Regenerates the Table 1 statistics pipeline at benchmark scale and records
+the measured characteristics in ``extra_info`` so a benchmark run doubles
+as a miniature Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.graph.traversal import estimate_diameter
+from repro.workloads import generate_workload
+
+from conftest import BENCH_PAIRS, BENCH_SCALE, BENCH_SEED
+
+
+@pytest.mark.parametrize(
+    "name", ["biogrid-sim", "biomine-sim", "string-sim", "dblp-sim", "youtube-sim"]
+)
+def test_dataset_build(benchmark, name):
+    graph, spec = benchmark.pedantic(
+        lambda: load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["n"] = graph.num_vertices
+    benchmark.extra_info["m"] = graph.num_edges
+    benchmark.extra_info["labels"] = graph.num_labels
+    benchmark.extra_info["paper_diameter"] = spec.paper_diameter
+    assert graph.num_labels == spec.num_labels
+
+
+def test_diameter_estimation(benchmark, biogrid):
+    diameter = benchmark.pedantic(
+        lambda: estimate_diameter(biogrid, sweeps=3, seed=BENCH_SEED),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["diameter"] = diameter
+    assert diameter >= 1
+
+
+def test_workload_generation(benchmark, biogrid):
+    workload = benchmark.pedantic(
+        lambda: generate_workload(biogrid, num_pairs=BENCH_PAIRS, seed=BENCH_SEED),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["num_queries"] = len(workload)
+    assert len(workload) > 0

@@ -1,0 +1,73 @@
+"""Benchmark: Table 3 — per-landmark indexing time for the three builders.
+
+ChromLand must be far cheaper than either PowCov builder; the pruning
+counters of TraversePowerset must improve on BruteForce (the paper's Java
+implementation also turns those counter savings into wall-clock savings;
+under numpy the SSSP phase dominates both builders — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chromland import ChromLandIndex, local_search_selection
+from repro.core.powcov import brute_force_sp_minimal, traverse_powerset
+from repro.graph.datasets import paper_synthetic
+
+from conftest import BENCH_SEED
+
+LANDMARK = 5
+
+
+@pytest.fixture(scope="module", params=[5, 7, 9])
+def synth(request):
+    return paper_synthetic(
+        request.param, num_vertices=900, num_edges=4500, seed=BENCH_SEED
+    )
+
+
+def test_traverse_powerset(benchmark, synth):
+    result = benchmark.pedantic(
+        lambda: traverse_powerset(synth, LANDMARK), rounds=2, iterations=1
+    )
+    benchmark.extra_info["num_labels"] = synth.num_labels
+    benchmark.extra_info["sssps"] = result.num_sssp
+    benchmark.extra_info["full_tests"] = result.num_full_tests
+
+
+def test_traverse_powerset_fast(benchmark, synth):
+    result = benchmark.pedantic(
+        lambda: traverse_powerset(synth, LANDMARK, use_obs4=False),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["num_labels"] = synth.num_labels
+    benchmark.extra_info["full_tests"] = result.num_full_tests
+
+
+def test_brute_force(benchmark, synth):
+    result = benchmark.pedantic(
+        lambda: brute_force_sp_minimal(synth, LANDMARK), rounds=2, iterations=1
+    )
+    benchmark.extra_info["num_labels"] = synth.num_labels
+    benchmark.extra_info["sssps"] = result.num_sssp
+    benchmark.extra_info["full_tests"] = result.num_full_tests
+
+
+def test_pruning_counters_improve(synth):
+    traverse = traverse_powerset(synth, LANDMARK)
+    brute = brute_force_sp_minimal(synth, LANDMARK)
+    assert traverse.num_full_tests < brute.num_full_tests
+    assert traverse.num_sssp <= brute.num_sssp
+    assert traverse.entries == brute.entries
+
+
+def test_chromland_build(benchmark, synth):
+    selection = local_search_selection(synth, 6, iterations=10, seed=BENCH_SEED)
+
+    def build():
+        return ChromLandIndex(
+            synth, selection.landmarks, selection.colors
+        ).build()
+
+    benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["num_labels"] = synth.num_labels

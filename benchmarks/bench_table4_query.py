@@ -1,0 +1,64 @@
+"""Benchmark: Table 4 — query throughput and accuracy of every oracle.
+
+Runs the paper workload through PowCov, ChromLand, the naive index, the
+bidirectional-BFS exact baseline and the Rice–Tsotras CH; records accuracy
+in ``extra_info`` and asserts the paper's headline orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BidirectionalBFSBaseline, LabelConstrainedCH
+from repro.core.naive import NaivePowersetIndex
+from repro.eval.metrics import evaluate_oracle
+
+from conftest import run_queries
+
+
+def test_powcov_queries(benchmark, biogrid, biogrid_workload, biogrid_powcov):
+    benchmark(run_queries, biogrid_powcov, biogrid_workload)
+    metrics = evaluate_oracle(biogrid_powcov, biogrid_workload)
+    benchmark.extra_info["abs_error"] = round(metrics.absolute_error, 3)
+    benchmark.extra_info["rel_error"] = round(metrics.relative_error, 3)
+    benchmark.extra_info["exact_pct"] = round(metrics.exact_percent, 1)
+    benchmark.extra_info["fn_pct"] = round(metrics.false_negative_percent, 2)
+
+
+def test_chromland_queries(benchmark, biogrid, biogrid_workload, biogrid_chromland):
+    benchmark(run_queries, biogrid_chromland, biogrid_workload)
+    metrics = evaluate_oracle(biogrid_chromland, biogrid_workload)
+    benchmark.extra_info["abs_error"] = round(metrics.absolute_error, 3)
+    benchmark.extra_info["rel_error"] = round(metrics.relative_error, 3)
+    benchmark.extra_info["fn_pct"] = round(metrics.false_negative_percent, 2)
+
+
+def test_naive_queries(benchmark, biogrid, biogrid_workload, biogrid_landmarks):
+    naive = NaivePowersetIndex(biogrid, biogrid_landmarks).build()
+    benchmark(run_queries, naive, biogrid_workload)
+
+
+def test_exact_bidirectional_queries(benchmark, biogrid, biogrid_workload):
+    oracle = BidirectionalBFSBaseline(biogrid)
+    benchmark(run_queries, oracle, biogrid_workload, 40)
+
+
+def test_rice_tsotras_queries(benchmark, biogrid, biogrid_workload):
+    ch = LabelConstrainedCH(biogrid, degree_limit=12).build()
+    benchmark(run_queries, ch, biogrid_workload, 20)
+    benchmark.extra_info["core_size"] = ch.core_size
+    benchmark.extra_info["shortcuts"] = ch.num_shortcuts
+
+
+def test_paper_orderings(biogrid, biogrid_workload, biogrid_powcov,
+                         biogrid_chromland):
+    """PowCov beats ChromLand on accuracy; both beat exact on latency."""
+    from repro.eval.metrics import time_oracle
+
+    powcov = evaluate_oracle(biogrid_powcov, biogrid_workload)
+    chroml = evaluate_oracle(biogrid_chromland, biogrid_workload)
+    assert powcov.absolute_error <= chroml.absolute_error
+    exact_time = time_oracle(
+        BidirectionalBFSBaseline(biogrid), biogrid_workload, limit=40
+    )
+    assert powcov.mean_query_seconds < exact_time

@@ -1,0 +1,105 @@
+"""Contextualized entity relatedness over a typed knowledge graph.
+
+The paper's first motivating application (Section 1, "Applications"):
+knowledge-exploration systems ask *"how related are entities A and B,
+contextualized to C?"* where the context ``C`` is a set of permitted
+predicate types.  Label-constrained shortest-path distance is the core
+relatedness feature, and it must be approximated in real time.
+
+This example
+
+1. builds a synthetic knowledge graph whose edges carry predicate types
+   (``born_in``, ``works_at``, ``located_in``, ...);
+2. indexes it with PowCov;
+3. answers "top related entities to a query entity under a context" by
+   ranking candidates with the index — and shows the ranking agrees with
+   the exact oracle while being much faster.
+
+Run with::
+
+    python examples/knowledge_graph_search.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ExactOracle, PowCovIndex, chromatic_cluster_graph, select_landmarks
+
+PREDICATES = [
+    "born_in", "works_at", "located_in", "part_of",
+    "collaborates", "cites", "influenced_by",
+]
+
+
+def build_knowledge_graph(num_entities: int = 3000, seed: int = 5):
+    """Typed-link knowledge graph: entity clusters = topical domains."""
+    graph = chromatic_cluster_graph(
+        num_entities,
+        num_edges=6 * num_entities,
+        num_labels=len(PREDICATES),
+        num_clusters=num_entities // 40,
+        intra_fraction=0.7,
+        label_noise=0.1,
+        label_exponent=1.0,
+        seed=seed,
+    )
+    return graph
+
+
+def top_related(oracle, entity: int, candidates, mask: int, top: int = 5):
+    """Rank candidates by constrained distance to ``entity`` (closer = more related)."""
+    scored = []
+    for candidate in candidates:
+        distance = oracle.query(entity, candidate, mask)
+        if distance != float("inf"):
+            scored.append((distance, candidate))
+    scored.sort()
+    return scored[:top]
+
+
+def main() -> None:
+    graph = build_knowledge_graph()
+    print(f"knowledge graph: {graph}")
+    print(f"predicate types: {', '.join(PREDICATES)}")
+
+    landmarks = select_landmarks(graph, k=32, strategy="greedy-mvc")
+    started = time.perf_counter()
+    index = PowCovIndex(graph, landmarks).build()
+    print(f"PowCov index built in {time.perf_counter() - started:.1f}s "
+          f"({index.average_entries_per_pair():.1f} distances/pair)")
+
+    exact = ExactOracle(graph)
+    rng = np.random.default_rng(3)
+    query_entity = int(rng.integers(graph.num_vertices))
+    candidates = [int(v) for v in rng.choice(graph.num_vertices, 300, replace=False)]
+
+    contexts = {
+        "professional": ["works_at", "collaborates"],
+        "geographic": ["born_in", "located_in", "part_of"],
+        "academic": ["collaborates", "cites", "influenced_by"],
+    }
+    for context_name, predicates in contexts.items():
+        mask = graph.mask([PREDICATES.index(p) for p in predicates])
+        started = time.perf_counter()
+        approx = top_related(index, query_entity, candidates, mask)
+        approx_time = time.perf_counter() - started
+        started = time.perf_counter()
+        truth = top_related(exact, query_entity, candidates, mask)
+        exact_time = time.perf_counter() - started
+
+        print()
+        print(f"context '{context_name}' = {predicates}")
+        print(f"  index ranking ({approx_time * 1000:.0f} ms): "
+              f"{[(c, int(d)) for d, c in approx]}")
+        print(f"  exact ranking ({exact_time * 1000:.0f} ms): "
+              f"{[(c, int(d)) for d, c in truth]}")
+        overlap = len({c for _, c in approx} & {c for _, c in truth})
+        print(f"  top-5 overlap: {overlap}/5, speed-up: "
+              f"{exact_time / max(approx_time, 1e-9):.0f}x")
+
+
+if __name__ == "__main__":
+    main()

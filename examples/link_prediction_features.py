@@ -1,0 +1,110 @@
+"""Label-constrained distances as link-prediction features.
+
+The paper's social-network application (Section 1): typed-link prediction
+systems need shortest-path distances *restricted to permissible labels* as
+model features, for many candidate pairs and many label contexts at once —
+exactly the regime where an approximate index pays off.
+
+This example
+
+1. builds a social-network-like labeled graph (power-law degrees,
+   relationship types);
+2. generates candidate pairs and computes, for each pair, one distance
+   feature per relationship context (friend-circle, work-circle, ...);
+3. does this with PowCov and with the exact oracle, comparing total
+   feature-extraction time and feature fidelity (rank correlation).
+
+Run with::
+
+    python examples/link_prediction_features.py
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro import ExactOracle, PowCovIndex, labeled_barabasi_albert, select_landmarks
+
+RELATION_TYPES = ["friend", "family", "colleague", "follows", "neighbor"]
+
+CONTEXTS = {
+    "social": ["friend", "family", "neighbor"],
+    "professional": ["colleague", "follows"],
+    "close-ties": ["friend", "family"],
+    "any": RELATION_TYPES,
+}
+
+
+def feature_matrix(oracle, pairs, masks, clip: float = 12.0) -> np.ndarray:
+    """One row per pair, one (clipped) distance feature per context."""
+    features = np.zeros((len(pairs), len(masks)))
+    for i, (s, t) in enumerate(pairs):
+        for j, mask in enumerate(masks):
+            distance = oracle.query(s, t, mask)
+            features[i, j] = min(distance, clip)
+    return features
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation without scipy (ties broken by position)."""
+    ranks_a = np.argsort(np.argsort(a))
+    ranks_b = np.argsort(np.argsort(b))
+    if ranks_a.std() == 0 or ranks_b.std() == 0:
+        return 1.0
+    return float(np.corrcoef(ranks_a, ranks_b)[0, 1])
+
+
+def main() -> None:
+    graph = labeled_barabasi_albert(
+        4000, edges_per_vertex=8, num_labels=len(RELATION_TYPES),
+        preference_strength=0.6, seed=6,
+    )
+    print(f"social network: {graph}")
+
+    masks = [graph.mask([RELATION_TYPES.index(r) for r in labels])
+             for labels in CONTEXTS.values()]
+
+    rng = np.random.default_rng(8)
+    pairs = [
+        (int(rng.integers(graph.num_vertices)), int(rng.integers(graph.num_vertices)))
+        for _ in range(400)
+    ]
+    pairs = [(s, t) for s, t in pairs if s != t]
+
+    landmarks = select_landmarks(graph, k=40, strategy="greedy-mvc")
+    started = time.perf_counter()
+    index = PowCovIndex(graph, landmarks).build()
+    build_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    approx_features = feature_matrix(index, pairs, masks)
+    index_time = time.perf_counter() - started
+
+    exact = ExactOracle(graph)
+    started = time.perf_counter()
+    exact_features = feature_matrix(exact, pairs, masks)
+    exact_time = time.perf_counter() - started
+
+    print(f"feature matrix: {len(pairs)} pairs x {len(masks)} contexts")
+    print(f"  index build: {build_time:.1f}s (one-off)")
+    print(f"  extraction via PowCov: {index_time:.2f}s")
+    print(f"  extraction via exact BFS: {exact_time:.2f}s "
+          f"(speed-up {exact_time / max(index_time, 1e-9):.0f}x)")
+
+    print()
+    print("feature fidelity per context (Spearman rank correlation):")
+    for j, name in enumerate(CONTEXTS):
+        rho = spearman(approx_features[:, j], exact_features[:, j])
+        mean_gap = float(np.mean(approx_features[:, j] - exact_features[:, j]))
+        print(f"  {name:<14s} rho={rho:.3f}  mean overestimate={mean_gap:.2f} hops")
+    print()
+    print("A downstream ranker trained on the approximate features sees")
+    print("nearly the same ordering of candidate pairs at a fraction of the")
+    print("extraction cost — the paper's link-prediction use case.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Pathway-query pruning in a protein-interaction network.
+
+The paper's network-alignment application (Section 1): PathBLAST-style
+systems match a query pathway against a target protein network.  Having
+found one matching pathway ``P`` with label set ``C``, candidate start
+proteins elsewhere in the network can be *pruned* with a single
+label-constrained distance query: if even the C-constrained distance to
+the pathway's end protein is much larger than ``|P|``, no matching pathway
+can start there.
+
+This example builds a protein-interaction-like graph (BioGrid stand-in),
+simulates the pruning loop with the ChromLand index (cheap to build, fast
+to query), and reports how many candidate proteins the label-constrained
+pruning eliminates compared to unconstrained-distance pruning.
+
+Run with::
+
+    python examples/protein_pathways.py
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro import ChromLandIndex, ExactOracle, load_dataset, local_search_selection
+
+INTERACTIONS = [
+    "physical", "direct", "colocalization", "genetic",
+    "association", "phosphorylation", "synthetic-lethality",
+]
+
+
+def discover_reference_pathway(graph, rng):
+    """A random walk standing in for a PathBLAST seed match."""
+    while True:
+        start = int(rng.integers(graph.num_vertices))
+        path = [start]
+        labels = set()
+        current = start
+        for _ in range(4):
+            neighbors = graph.neighbors_of(current)
+            if len(neighbors) == 0:
+                break
+            pick = int(rng.integers(len(neighbors)))
+            labels.add(int(graph.labels_of(current)[pick]))
+            current = int(neighbors[pick])
+            path.append(current)
+        if len(path) == 5 and len(set(path)) == 5:
+            return path, labels
+
+
+def main() -> None:
+    graph, spec = load_dataset("biogrid-sim", scale=0.6, seed=11)
+    print(f"protein network ({spec.description}): {graph}")
+    rng = np.random.default_rng(4)
+
+    pathway, labels = discover_reference_pathway(graph, rng)
+    label_mask = graph.mask(sorted(labels))
+    interaction_names = [INTERACTIONS[label] for label in sorted(labels)]
+    print(f"reference pathway: {pathway} "
+          f"(length {len(pathway) - 1}, interactions {interaction_names})")
+
+    selection = local_search_selection(graph, k=48, iterations=200, seed=2)
+    index = ChromLandIndex(graph, selection.landmarks, selection.colors).build()
+    print(f"ChromLand index: {index.describe()}")
+
+    target = pathway[-1]
+    budget = (len(pathway) - 1) + 2  # allow a slack of 2 hops
+    candidates = [int(v) for v in rng.choice(graph.num_vertices, 600, replace=False)]
+
+    exact = ExactOracle(graph)
+    started = time.perf_counter()
+    pruned_constrained = [
+        c for c in candidates if index.query(c, target, label_mask) > budget
+    ]
+    constrained_time = time.perf_counter() - started
+
+    full_mask = graph.full_label_mask()
+    pruned_plain = [
+        c for c in candidates if index.query(c, target, full_mask) > budget
+    ]
+
+    print()
+    print(f"candidate start proteins: {len(candidates)}")
+    print(f"pruned by unconstrained distance:      {len(pruned_plain)}")
+    print(f"pruned by label-constrained distance:  {len(pruned_constrained)} "
+          f"({constrained_time * 1000:.0f} ms total)")
+    print("label constraints make the pruning strictly more effective:")
+    assert set(pruned_plain) <= set(pruned_constrained)
+
+    # Safety check on a sample: the index only prunes true negatives
+    # (its estimate is an upper bound, so estimate > budget can still be a
+    # false alarm ONLY when the bound is loose — quantify that).
+    false_prunes = 0
+    sample = pruned_constrained[:100]
+    for c in sample:
+        if exact.query(c, target, label_mask) <= budget:
+            false_prunes += 1
+    print(f"loose-bound false prunes in a 100-candidate sample: {false_prunes}")
+    print("(PathBLAST-style systems trade these for the 100x cheaper filter;")
+    print(" rerun survivors with the exact oracle for a lossless pipeline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Road-category-constrained routing on a grid road network.
+
+The Rice & Tsotras line of work (the paper's only prior art on
+label-constrained shortest paths) targets *road networks*: labels are road
+categories ("motorway", "arterial", "local", "toll") and a query like
+"shortest route avoiding toll roads" is exactly an LC-PPSPD query whose
+constraint set excludes some labels.
+
+This example builds a grid road network with locally coherent categories,
+runs category-constrained routes with three engines — plain constrained
+BFS, the label-restricted contraction hierarchy, and the PowCov oracle —
+and shows a witness route for one query.
+
+Run with::
+
+    python examples/road_network_labels.py
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro import ExactOracle, LabelConstrainedCH, PowCovIndex, labeled_grid, select_landmarks
+from repro.graph.traversal import constrained_shortest_path
+
+CATEGORIES = ["motorway", "arterial", "local", "toll"]
+
+
+def main() -> None:
+    width = height = 40
+    graph = labeled_grid(width, height, num_labels=len(CATEGORIES),
+                         patch_size=5, noise=0.15, seed=1)
+    print(f"road grid: {graph} ({width}x{height})")
+
+    exact = ExactOracle(graph)
+    ch = LabelConstrainedCH(graph, degree_limit=16).build()
+    print(f"contraction hierarchy: {ch.describe()}")
+    landmarks = select_landmarks(graph, k=24, strategy="greedy-mvc")
+    powcov = PowCovIndex(graph, landmarks).build()
+
+    rng = np.random.default_rng(2)
+    scenarios = {
+        "all roads": CATEGORIES,
+        "no toll roads": ["motorway", "arterial", "local"],
+        "local streets only": ["local"],
+    }
+    corner_a = 0
+    corner_b = graph.num_vertices - 1
+
+    for name, allowed in scenarios.items():
+        mask = graph.mask([CATEGORIES.index(c) for c in allowed])
+        d_exact = exact.query(corner_a, corner_b, mask)
+        d_ch = ch.query(corner_a, corner_b, mask)
+        d_powcov = powcov.query(corner_a, corner_b, mask)
+        exact_str = "unreachable" if math.isinf(d_exact) else f"{d_exact:.0f} hops"
+        print(f"\nscenario '{name}': corner-to-corner route = {exact_str}")
+        print(f"  CH answer (exact by construction): {d_ch}")
+        print(f"  PowCov answer (upper bound):       {d_powcov}")
+        assert d_ch == d_exact
+
+    # Witness route for the no-toll scenario.
+    mask = graph.mask([CATEGORIES.index(c) for c in scenarios["no toll roads"]])
+    route = constrained_shortest_path(graph, corner_a, corner_b, mask)
+    if route:
+        cells = [(v // height, v % height) for v in route[:8]]
+        print(f"\nfirst 8 cells of a no-toll witness route: {cells} ...")
+
+    # Micro-comparison of engines on random queries.
+    queries = [
+        (int(rng.integers(graph.num_vertices)),
+         int(rng.integers(graph.num_vertices)),
+         graph.mask([0, 1, 2]))
+        for _ in range(60)
+    ]
+    timings = {}
+    for engine_name, engine in (("constrained BFS", exact), ("CH", ch),
+                                ("PowCov", powcov)):
+        started = time.perf_counter()
+        for s, t, m in queries:
+            engine.query(s, t, m)
+        timings[engine_name] = (time.perf_counter() - started) / len(queries)
+    print("\nper-query time over 60 random no-toll queries:")
+    for engine_name, seconds in timings.items():
+        print(f"  {engine_name:<16s} {seconds * 1e3:7.2f} ms")
+    print("\n(Note: on large *road* networks CH amortizes its preprocessing;")
+    print(" on the paper's power-law graphs it loses to bidirectional BFS,")
+    print(" which is why the paper's speed-ups are measured against BFS.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — label-constrained distance oracles for edge-labeled graphs.
+
+A from-scratch Python reproduction of
+
+    F. Bonchi, A. Gionis, F. Gullo, A. Ukkonen.
+    "Distance oracles in edge-labeled graphs", EDBT 2014.
+
+Public API tour
+---------------
+Graphs::
+
+    from repro import GraphBuilder, load_dataset
+    builder = GraphBuilder()
+    builder.add_edge("alice", "bob", "friend")
+    graph = builder.build()
+
+Indexes::
+
+    from repro import PowCovIndex, ChromLandIndex, select_landmarks
+    landmarks = select_landmarks(graph, k=16)
+    oracle = PowCovIndex(graph, landmarks).build()
+
+Experiments::
+
+    python -m repro.eval.cli all
+
+See README.md for the full guide and DESIGN.md for the system inventory.
+"""
+
+from .baselines import (
+    BidirectionalBFSBaseline,
+    LabelConstrainedCH,
+    UnidirectionalBFSBaseline,
+)
+from .core import (
+    INF,
+    ChromLandIndex,
+    DistanceOracle,
+    ExactDijkstraOracle,
+    ExactOracle,
+    LabelSetTrie,
+    NaivePowersetIndex,
+    PowCovIndex,
+    Query,
+    QueryAnswer,
+    WeightedPowCovIndex,
+    constrained_nearest,
+    load_chromland,
+    load_powcov,
+    rank_candidates,
+    save_chromland,
+    save_powcov,
+)
+from .core.chromland import local_search_selection, random_selection
+from .graph import (
+    EdgeLabeledGraph,
+    GraphBuilder,
+    LabelUniverse,
+    chromatic_cluster_graph,
+    labeled_barabasi_albert,
+    labeled_erdos_renyi,
+    labeled_grid,
+    load_dataset,
+    load_edge_list,
+    paper_synthetic,
+)
+from .landmarks import select_landmarks
+from .workloads import Workload, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BidirectionalBFSBaseline",
+    "LabelConstrainedCH",
+    "UnidirectionalBFSBaseline",
+    "INF",
+    "ChromLandIndex",
+    "DistanceOracle",
+    "ExactDijkstraOracle",
+    "ExactOracle",
+    "LabelSetTrie",
+    "NaivePowersetIndex",
+    "PowCovIndex",
+    "WeightedPowCovIndex",
+    "Query",
+    "QueryAnswer",
+    "local_search_selection",
+    "constrained_nearest",
+    "rank_candidates",
+    "load_chromland",
+    "load_powcov",
+    "save_chromland",
+    "save_powcov",
+    "random_selection",
+    "EdgeLabeledGraph",
+    "GraphBuilder",
+    "LabelUniverse",
+    "chromatic_cluster_graph",
+    "labeled_barabasi_albert",
+    "labeled_erdos_renyi",
+    "labeled_grid",
+    "load_dataset",
+    "load_edge_list",
+    "paper_synthetic",
+    "select_landmarks",
+    "Workload",
+    "generate_workload",
+]

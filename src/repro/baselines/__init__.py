@@ -1,0 +1,10 @@
+"""Exact query baselines: bidirectional BFS and label-restricted CH."""
+
+from .bidirectional import BidirectionalBFSBaseline, UnidirectionalBFSBaseline
+from .rice_tsotras import LabelConstrainedCH
+
+__all__ = [
+    "BidirectionalBFSBaseline",
+    "UnidirectionalBFSBaseline",
+    "LabelConstrainedCH",
+]

@@ -1,0 +1,36 @@
+"""Core distance-oracle layer: exact baseline, PowCov, ChromLand, naive index."""
+
+from .chromland import ChromLandIndex, local_search_selection
+from .exact import ExactDijkstraOracle, ExactOracle
+from .naive import NaivePowersetIndex
+from .nearest import constrained_nearest, rank_candidates
+from .powcov import PowCovIndex, WeightedPowCovIndex
+from .serialize import (
+    load_chromland,
+    load_powcov,
+    save_chromland,
+    save_powcov,
+)
+from .trie import LabelSetTrie
+from .types import INF, DistanceOracle, Query, QueryAnswer
+
+__all__ = [
+    "ChromLandIndex",
+    "ExactDijkstraOracle",
+    "ExactOracle",
+    "NaivePowersetIndex",
+    "PowCovIndex",
+    "WeightedPowCovIndex",
+    "LabelSetTrie",
+    "INF",
+    "DistanceOracle",
+    "Query",
+    "QueryAnswer",
+    "local_search_selection",
+    "constrained_nearest",
+    "rank_candidates",
+    "load_chromland",
+    "load_powcov",
+    "save_chromland",
+    "save_powcov",
+]

@@ -1,0 +1,22 @@
+"""Chromatic Landmarks index (Section 4 of the paper)."""
+
+from .index import ChromLandIndex
+from .query import auxiliary_graph_distance, simple_triangle_distance
+from .selection import (
+    ChromLandSelection,
+    local_search_selection,
+    majority_colors,
+    objective_value,
+    random_selection,
+)
+
+__all__ = [
+    "ChromLandIndex",
+    "auxiliary_graph_distance",
+    "simple_triangle_distance",
+    "ChromLandSelection",
+    "local_search_selection",
+    "majority_colors",
+    "objective_value",
+    "random_selection",
+]

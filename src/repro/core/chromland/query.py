@@ -1,0 +1,121 @@
+"""ChromLand query strategies: Proposition 2 and Theorem 5.
+
+Both strategies compute sound *upper bounds* on ``d_C(s, t)``:
+
+* :func:`simple_triangle_distance` — Proposition 2: the best single-landmark
+  triangle bound ``min { cd(x,s) + cd(x,t) : c(x) ∈ C }``, in ``O(k)``.
+* :func:`auxiliary_graph_distance` — Theorem 5: the shortest path between
+  ``s`` and ``t`` on the auxiliary graph ``G_X[s, t, C]`` whose nodes are
+  the usable landmarks plus the two query endpoints, with mono-chromatic
+  landmark-vertex edges and bi-chromatic landmark-landmark edges.  Theorem 5
+  proves this is the *tightest* sound bound derivable from the stored
+  distances; it costs ``O(k^2)`` via a dense Dijkstra.
+
+The dense Dijkstra is hand-rolled over numpy arrays: auxiliary graphs have
+at most ``k + 2`` nodes, where ``k ≤ a few hundred``, so the ``O(V^2)``
+variant with vectorized relaxation beats heap-based implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph.traversal import UNREACHABLE
+
+__all__ = ["simple_triangle_distance", "auxiliary_graph_distance"]
+
+_INF = np.float64(np.inf)
+
+
+def simple_triangle_distance(
+    mono: np.ndarray,
+    usable: np.ndarray,
+    source: int,
+    target: int,
+    mono_source: np.ndarray | None = None,
+) -> float:
+    """Proposition 2: best single-landmark bound over ``usable`` landmarks.
+
+    ``mono`` is the ``(k, n)`` mono-chromatic distance table with ``-1``
+    for unreachable; ``usable`` indexes the landmarks whose color belongs
+    to the query label set.  For directed graphs ``mono_source`` carries
+    the vertex→landmark distances (reversed-graph table); when ``None``
+    the graph is undirected and ``mono`` serves both sides.
+    """
+    source_table = mono if mono_source is None else mono_source
+    ds = source_table[usable, source].astype(np.float64)
+    dt = mono[usable, target].astype(np.float64)
+    ok = (ds != UNREACHABLE) & (dt != UNREACHABLE)
+    if not ok.any():
+        return float("inf")
+    return float((ds[ok] + dt[ok]).min())
+
+
+def auxiliary_graph_distance(
+    mono: np.ndarray,
+    bi: np.ndarray,
+    colors: np.ndarray,
+    usable: np.ndarray,
+    source: int,
+    target: int,
+    mono_source: np.ndarray | None = None,
+) -> float:
+    """Theorem 5: shortest s-t path on the induced auxiliary graph.
+
+    Nodes are ``usable`` landmarks plus virtual nodes for ``s`` and ``t``.
+    Edge weights:
+
+    * ``s — x``: ``cd(x, s)`` (mono-chromatic), likewise ``t — x``;
+    * ``x — y``: ``cd(x, y)`` (bi-chromatic) when ``c(x) ≠ c(y)``.
+
+    Landmark-landmark edges between same-color landmarks do not exist in
+    ``G_X`` (their composition is already dominated by the single-landmark
+    bound through either one).
+
+    For directed graphs ``mono_source`` is the vertex→landmark table and
+    ``bi[i, j]`` is the directed ``x_i → x_j`` distance; the Dijkstra below
+    then relaxes directed edges only.
+    """
+    k = len(usable)
+    if k == 0:
+        return float("inf")
+
+    # Distance-from-source vector over [landmarks..., target].
+    source_table = mono if mono_source is None else mono_source
+    ds = source_table[usable, source].astype(np.float64)
+    dt = mono[usable, target].astype(np.float64)
+    ds[ds == UNREACHABLE] = _INF
+    dt[dt == UNREACHABLE] = _INF
+
+    # Fast exits: the best single-landmark bound may already be optimal
+    # when only one usable color exists (no bi-chromatic edges help).
+    best_single = float((ds + dt).min()) if k else float("inf")
+    usable_colors = colors[usable]
+    if len(np.unique(usable_colors)) <= 1:
+        return best_single
+
+    # Dense adjacency among usable landmarks (inf where no edge).
+    weights = bi[np.ix_(usable, usable)].astype(np.float64)
+    weights[weights == UNREACHABLE] = _INF
+    same_color = usable_colors[:, None] == usable_colors[None, :]
+    weights[same_color] = _INF
+
+    # O(k^2) Dijkstra from the virtual source node: initialize landmark
+    # tentative distances with the s—x edges, repeatedly settle the
+    # nearest landmark, relax through its bi-chromatic row, and keep the
+    # running best completion through the t—x edges.
+    dist = ds.copy()
+    settled = np.zeros(k, dtype=bool)
+    best = best_single
+    for _ in range(k):
+        dist_masked = np.where(settled, _INF, dist)
+        i = int(dist_masked.argmin())
+        di = dist_masked[i]
+        if not np.isfinite(di) or di >= best:
+            break  # every remaining completion is at least `best`
+        settled[i] = True
+        np.minimum(dist, di + weights[i], out=dist)
+        completion = di + dt[i]
+        if completion < best:
+            best = completion
+    return float(best)

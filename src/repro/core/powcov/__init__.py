@@ -1,0 +1,25 @@
+"""Powerset Cover index (Section 3 of the paper)."""
+
+from .index import PowCovIndex
+from .spminimal import (
+    LandmarkSPMinimal,
+    brute_force_sp_minimal,
+    generate_candidates,
+    generate_candidates_apriori,
+    traverse_powerset,
+)
+from .stats import IndexSizeReport, compare_index_sizes
+from .weighted import WeightedPowCovIndex, weighted_sp_minimal
+
+__all__ = [
+    "PowCovIndex",
+    "WeightedPowCovIndex",
+    "weighted_sp_minimal",
+    "LandmarkSPMinimal",
+    "brute_force_sp_minimal",
+    "generate_candidates",
+    "generate_candidates_apriori",
+    "traverse_powerset",
+    "IndexSizeReport",
+    "compare_index_sizes",
+]

@@ -1,0 +1,55 @@
+"""Index-size accounting used by the Table 2 experiment.
+
+The paper's Table 2 reports, per dataset, the average number of distances
+stored per landmark-vertex pair for PowCov and for the naive powerset index,
+plus the percentage saving.  These helpers compute those quantities from
+built indexes without re-running any traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..naive import NaivePowersetIndex
+from .index import PowCovIndex
+
+__all__ = ["IndexSizeReport", "compare_index_sizes"]
+
+
+@dataclass(frozen=True)
+class IndexSizeReport:
+    """Average per-pair footprints of PowCov vs the naive index."""
+
+    powcov_avg: float
+    naive_avg: float
+    powcov_total: int
+    naive_total: int
+    powcov_max_per_pair: int
+
+    @property
+    def saving_percent(self) -> float:
+        """How much (in %) PowCov shrinks the naive index (Table 2, last row)."""
+        if self.naive_avg == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.powcov_avg / self.naive_avg)
+
+
+def compare_index_sizes(
+    powcov: PowCovIndex, naive: NaivePowersetIndex
+) -> IndexSizeReport:
+    """Build a Table-2 row from two already-built indexes.
+
+    Both indexes must share the same graph and landmark set, otherwise the
+    per-pair averages are not comparable.
+    """
+    if powcov.graph is not naive.graph:
+        raise ValueError("indexes must be built on the same graph")
+    if list(powcov.landmarks) != list(naive.landmarks):
+        raise ValueError("indexes must use the same landmarks")
+    return IndexSizeReport(
+        powcov_avg=powcov.average_entries_per_pair(),
+        naive_avg=naive.average_entries_per_pair(),
+        powcov_total=powcov.index_size_entries(),
+        naive_total=naive.index_size_entries(),
+        powcov_max_per_pair=powcov.max_entries_per_pair(),
+    )

@@ -1,0 +1,188 @@
+"""Index persistence: save and load built oracles without rebuilding.
+
+Index construction is the expensive step (minutes for PowCov on the larger
+stand-ins); a deployed oracle builds once and serves forever.  This module
+round-trips both indexes through numpy ``.npz`` archives — no pickle, so
+the files are portable and safe to load.
+
+Formats
+-------
+PowCov: the per-(landmark, vertex) SP-minimal entries are flattened into
+four parallel arrays (``landmark_idx``, ``vertex``, ``distance``, ``mask``)
+plus the landmark list and metadata; loading regroups them.  Directed
+indexes store the reversed-table arrays alongside.
+
+ChromLand: the ``mono`` / ``bi`` (and directed ``mono_in``) matrices plus
+landmark/color arrays are stored verbatim.
+
+The graph itself is *not* embedded — the caller supplies it on load (it
+has its own persistence in :mod:`repro.graph.io`) and a fingerprint check
+rejects mismatched graphs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..graph.labeled_graph import EdgeLabeledGraph
+from .chromland import ChromLandIndex
+from .powcov import PowCovIndex
+from .powcov.spminimal import LandmarkSPMinimal
+
+__all__ = [
+    "graph_fingerprint",
+    "save_powcov",
+    "load_powcov",
+    "save_chromland",
+    "load_chromland",
+]
+
+
+def graph_fingerprint(graph: EdgeLabeledGraph) -> np.int64:
+    """Cheap structural hash binding an index file to its graph."""
+    acc = np.int64(1469598103934665603)  # FNV-ish over summary stats
+    for value in (
+        graph.num_vertices,
+        graph.num_edges,
+        graph.num_labels,
+        int(graph.directed),
+        int(graph.indptr[-1]),
+        int(graph.neighbors[:64].sum()) if graph.num_arcs else 0,
+        int(graph.edge_labels[:64].sum()) if graph.num_arcs else 0,
+    ):
+        acc = np.int64((int(acc) ^ int(value)) * 1099511628211 % (1 << 63))
+    return acc
+
+
+def _entries_to_arrays(per_landmark: list[LandmarkSPMinimal]):
+    total = sum(r.total_entries for r in per_landmark)
+    landmark_idx = np.empty(total, dtype=np.int32)
+    vertex = np.empty(total, dtype=np.int64)
+    distance = np.empty(total, dtype=np.float64)
+    mask = np.empty(total, dtype=np.int64)
+    pos = 0
+    for i, result in enumerate(per_landmark):
+        for u, pairs in result.entries.items():
+            for d, m in pairs:
+                landmark_idx[pos] = i
+                vertex[pos] = u
+                distance[pos] = d
+                mask[pos] = m
+                pos += 1
+    return landmark_idx, vertex, distance, mask
+
+
+def _arrays_to_entries(
+    num_landmarks: int,
+    landmark_idx: np.ndarray,
+    vertex: np.ndarray,
+    distance: np.ndarray,
+    mask: np.ndarray,
+    landmarks: list[int],
+) -> list[LandmarkSPMinimal]:
+    per_landmark = [
+        LandmarkSPMinimal(landmark=landmarks[i]) for i in range(num_landmarks)
+    ]
+    integral = np.all(distance == np.floor(distance))
+    for i, u, d, m in zip(landmark_idx, vertex, distance, mask):
+        value = int(d) if integral else float(d)
+        per_landmark[int(i)].entries.setdefault(int(u), []).append((value, int(m)))
+    for result in per_landmark:
+        for pairs in result.entries.values():
+            pairs.sort()
+    return per_landmark
+
+
+def save_powcov(index: PowCovIndex, path: str | os.PathLike) -> None:
+    """Serialize a built PowCov index (flat storage layouts only)."""
+    if not index._built:  # noqa: SLF001 - serialization is a friend module
+        raise ValueError("build the index before saving it")
+    forward = _entries_to_arrays(index.per_landmark)
+    payload = {
+        "kind": np.str_("powcov"),
+        "fingerprint": graph_fingerprint(index.graph),
+        "landmarks": np.asarray(index.landmarks, dtype=np.int64),
+        "estimator": np.str_(index.estimator),
+        "fwd_landmark": forward[0],
+        "fwd_vertex": forward[1],
+        "fwd_distance": forward[2],
+        "fwd_mask": forward[3],
+        "directed": np.bool_(index.graph.directed),
+    }
+    if index.graph.directed:
+        reverse = _entries_to_arrays(index.per_landmark_reverse)
+        payload.update(
+            rev_landmark=reverse[0], rev_vertex=reverse[1],
+            rev_distance=reverse[2], rev_mask=reverse[3],
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_powcov(path: str | os.PathLike, graph: EdgeLabeledGraph) -> PowCovIndex:
+    """Load a PowCov index saved by :func:`save_powcov` for ``graph``."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["kind"]) != "powcov":
+            raise ValueError(f"{path} is not a PowCov index file")
+        if np.int64(data["fingerprint"]) != graph_fingerprint(graph):
+            raise ValueError("index file was built for a different graph")
+        landmarks = [int(x) for x in data["landmarks"]]
+        index = PowCovIndex(
+            graph, landmarks, storage="flat", estimator=str(data["estimator"])
+        )
+        index.per_landmark = _arrays_to_entries(
+            len(landmarks), data["fwd_landmark"], data["fwd_vertex"],
+            data["fwd_distance"], data["fwd_mask"], landmarks,
+        )
+        index._flat = [r.entries for r in index.per_landmark]
+        if bool(data["directed"]):
+            index.per_landmark_reverse = _arrays_to_entries(
+                len(landmarks), data["rev_landmark"], data["rev_vertex"],
+                data["rev_distance"], data["rev_mask"], landmarks,
+            )
+            index._flat_reverse = [r.entries for r in index.per_landmark_reverse]
+        index._built = True
+        return index
+
+
+def save_chromland(index: ChromLandIndex, path: str | os.PathLike) -> None:
+    """Serialize a built ChromLand index."""
+    if index.mono is None:
+        raise ValueError("build the index before saving it")
+    payload = {
+        "kind": np.str_("chromland"),
+        "fingerprint": graph_fingerprint(index.graph),
+        "landmarks": index.landmarks,
+        "colors": index.colors,
+        "query_mode": np.str_(index.query_mode),
+        "mono": index.mono,
+        "bi": index.bi,
+        "directed": np.bool_(index.graph.directed),
+    }
+    if index.mono_in is not None:
+        payload["mono_in"] = index.mono_in
+    np.savez_compressed(path, **payload)
+
+
+def load_chromland(
+    path: str | os.PathLike, graph: EdgeLabeledGraph
+) -> ChromLandIndex:
+    """Load a ChromLand index saved by :func:`save_chromland` for ``graph``."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["kind"]) != "chromland":
+            raise ValueError(f"{path} is not a ChromLand index file")
+        if np.int64(data["fingerprint"]) != graph_fingerprint(graph):
+            raise ValueError("index file was built for a different graph")
+        index = ChromLandIndex(
+            graph,
+            [int(x) for x in data["landmarks"]],
+            [int(c) for c in data["colors"]],
+            query_mode=str(data["query_mode"]),
+        )
+        index.mono = data["mono"]
+        index.bi = data["bi"]
+        if "mono_in" in data:
+            index.mono_in = data["mono_in"]
+        index._built = True  # noqa: SLF001
+        return index

@@ -1,0 +1,104 @@
+"""Shared types for label-constrained distance oracles.
+
+The paper's central object is the *label-constrained point-to-point
+shortest-path distance query* (LC-PPSPD): a triple ``⟨s, t, C⟩`` asking for
+``d_C(s, t)``, the length of a shortest path from ``s`` to ``t`` that uses
+only edges with labels in ``C``.  This module defines the query/answer
+dataclasses and the :class:`DistanceOracle` interface every index implements.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..graph.labeled_graph import EdgeLabeledGraph
+
+__all__ = ["INF", "Query", "QueryAnswer", "DistanceOracle"]
+
+#: Infinite distance, the answer to queries over disconnected label subgraphs.
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class Query:
+    """An LC-PPSPD query ``⟨s, t, C⟩`` with ``C`` as a label bitmask."""
+
+    source: int
+    target: int
+    label_mask: int
+
+    def __post_init__(self):
+        if self.label_mask < 0:
+            raise ValueError("label_mask must be non-negative")
+
+    @classmethod
+    def of(cls, graph: EdgeLabeledGraph, source: int, target: int, labels: Iterable) -> "Query":
+        """Build a query from label names/ids using the graph's universe."""
+        return cls(source, target, graph.mask(labels))
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """An oracle's answer together with the bounds it was derived from.
+
+    ``estimate`` is the oracle's headline answer (the paper uses the
+    triangle-inequality *upper* bound).  ``lower`` is the matching lower
+    bound where the oracle can produce one (landmark indexes can);
+    oracles that cannot report a bound leave it at 0.
+    """
+
+    estimate: float
+    lower: float = 0.0
+    upper: float = INF
+
+    @property
+    def is_unreachable(self) -> bool:
+        """True iff the oracle claims no C-constrained path exists."""
+        return math.isinf(self.estimate)
+
+
+class DistanceOracle(ABC):
+    """Interface implemented by every index and baseline in this package.
+
+    Implementations are constructed from a graph (plus index-specific
+    parameters), may run an expensive :meth:`build` step, and then answer
+    queries via :meth:`query`.  ``query_answer`` exposes bound details for
+    evaluation code.
+    """
+
+    #: Short name used in experiment tables.
+    name: str = "oracle"
+
+    def __init__(self, graph: EdgeLabeledGraph):
+        self.graph = graph
+
+    @abstractmethod
+    def query(self, source: int, target: int, label_mask: int) -> float:
+        """Approximate (or exact) ``d_C(source, target)``; ``inf`` if none."""
+
+    def query_answer(self, source: int, target: int, label_mask: int) -> QueryAnswer:
+        """Detailed answer; default wraps :meth:`query` with trivial bounds."""
+        estimate = self.query(source, target, label_mask)
+        return QueryAnswer(estimate=estimate, lower=0.0, upper=estimate)
+
+    def query_labels(self, source: int, target: int, labels: Iterable) -> float:
+        """Convenience overload taking label names/ids instead of a mask."""
+        return self.query(source, target, self.graph.mask(labels))
+
+    def batch_query(self, queries: Sequence[Query]) -> list[float]:
+        """Answer a sequence of queries; subclasses may batch smarter."""
+        return [self.query(q.source, q.target, q.label_mask) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Index accounting — used by the Table 2/3 experiments.
+    # ------------------------------------------------------------------
+    def index_size_entries(self) -> int:
+        """Number of stored distance entries (0 for index-free oracles)."""
+        return 0
+
+    def describe(self) -> str:
+        """One-line human-readable description for experiment logs."""
+        return f"{self.name} on {self.graph!r}"

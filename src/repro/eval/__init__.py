@@ -1,0 +1,51 @@
+"""Experiment harness: metrics, runners, and table/figure regeneration."""
+
+from .metrics import OracleMetrics, evaluate_oracle, time_oracle
+from .runner import (
+    IndexRun,
+    baseline_query_seconds,
+    run_chromland,
+    run_naive,
+    run_powcov,
+    speedup_factor,
+)
+from .tables import table1, table2, table3, table4
+from .figures import figure6
+from .scaling import render_scaling, scaling_sweep
+from .export import write_csv, write_json
+from .repetition import RepeatedRun, repeat_index_run
+from .report import (
+    check_figure6,
+    check_table2,
+    check_table3,
+    check_table4,
+    render_report,
+)
+
+__all__ = [
+    "OracleMetrics",
+    "evaluate_oracle",
+    "time_oracle",
+    "IndexRun",
+    "baseline_query_seconds",
+    "run_chromland",
+    "run_naive",
+    "run_powcov",
+    "speedup_factor",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure6",
+    "render_scaling",
+    "scaling_sweep",
+    "write_csv",
+    "write_json",
+    "RepeatedRun",
+    "repeat_index_run",
+    "check_figure6",
+    "check_table2",
+    "check_table3",
+    "check_table4",
+    "render_report",
+]

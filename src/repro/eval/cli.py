@@ -1,0 +1,162 @@
+"""Command-line entry point for the full experiment reproduction.
+
+Usage::
+
+    python -m repro.eval.cli table1
+    python -m repro.eval.cli table2 --scale 0.5 --k 10
+    python -m repro.eval.cli table3
+    python -m repro.eval.cli table4 --ks 10,20,30,40,50 --pairs 250
+    python -m repro.eval.cli fig6    --ks 10,20,30,40
+    python -m repro.eval.cli scaling --ks 20
+    python -m repro.eval.cli profile
+    python -m repro.eval.cli all     --out results.txt --csv-dir results/
+
+Every command prints the regenerated table/figure (optionally teeing into
+``--out`` and exporting machine-readable CSVs into ``--csv-dir``).
+Defaults are sized so that ``all`` completes in tens of minutes on a
+laptop; pass a larger ``--scale`` to push toward the paper's dataset
+sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .export import write_csv
+from .figures import figure6, render_figure6
+from .report import (
+    check_figure6,
+    check_table2,
+    check_table3,
+    check_table4,
+    render_report,
+)
+from .scaling import render_scaling, scaling_sweep
+from .tables import (
+    render_rows,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = ["main"]
+
+
+def _parse_ks(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.eval.cli",
+        description="Reproduce the tables and figures of "
+        "'Distance oracles in edge-labeled graphs' (EDBT 2014).",
+    )
+    parser.add_argument(
+        "what",
+        choices=["table1", "table2", "table3", "table4", "fig6",
+                 "scaling", "profile", "all"],
+    )
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor (1.0 = default stand-in size)")
+    parser.add_argument("--pairs", type=int, default=250,
+                        help="connected vertex pairs per workload")
+    parser.add_argument("--k", type=int, default=10,
+                        help="landmarks for the size/time tables")
+    parser.add_argument("--ks", type=_parse_ks, default=(10, 20, 30, 40, 50),
+                        help="comma-separated landmark counts for table4/fig6")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the output to this file")
+    parser.add_argument("--csv-dir", type=str, default=None,
+                        help="export machine-readable CSVs into this directory")
+    args = parser.parse_args(argv)
+
+    sections: list[str] = []
+
+    def emit(text: str) -> None:
+        print(text)
+        print()
+        sections.append(text)
+
+    def export(name: str, rows) -> None:
+        if args.csv_dir:
+            os.makedirs(args.csv_dir, exist_ok=True)
+            write_csv(rows, os.path.join(args.csv_dir, f"{name}.csv"))
+
+    started = time.perf_counter()
+    claims = []
+    if args.what in ("table1", "all"):
+        rows = table1(scale=args.scale, num_pairs=args.pairs, seed=args.seed)
+        emit(render_table1(rows))
+        export("table1", rows)
+    if args.what in ("table2", "all"):
+        rows = table2(scale=args.scale, k=args.k, seed=args.seed)
+        emit(render_table2(rows))
+        export("table2", rows)
+        claims.extend(check_table2(rows))
+    if args.what in ("table3", "all"):
+        rows = table3(scale=args.scale, k=max(3, args.k // 2), seed=args.seed)
+        emit(render_table3(rows))
+        export("table3", rows)
+        claims.extend(check_table3(rows))
+    if args.what in ("table4", "all"):
+        cells = table4(scale=args.scale, ks=args.ks, num_pairs=args.pairs,
+                       seed=args.seed)
+        emit(render_table4(cells))
+        export("table4", cells)
+        claims.extend(check_table4(cells))
+    if args.what in ("fig6", "all"):
+        panels = figure6(scale=min(args.scale, 0.4), ks=args.ks[:4],
+                         num_pairs=args.pairs // 2 + 50, seed=args.seed)
+        emit(render_figure6(panels))
+        export("figure6", panels)
+        claims.extend(check_figure6(panels))
+    if claims:
+        emit("Paper-claim verification\n" + render_report(claims))
+    if args.what in ("scaling", "all"):
+        points = scaling_sweep(scales=(0.25, 0.5, min(1.0, args.scale * 2)),
+                               k=args.ks[0] if args.ks else 20,
+                               num_pairs=max(60, args.pairs // 3),
+                               seed=args.seed)
+        emit(render_scaling(points))
+        export("scaling", points)
+    if args.what == "profile":
+        from ..graph.datasets import dataset_names, load_dataset
+        from ..graph.stats import graph_profile
+
+        headers = ["dataset", "n", "m", "|L|", "dominant label share",
+                   "label entropy", "mean per-label giant", "degree gini"]
+        body = []
+        for name in dataset_names():
+            graph, _spec = load_dataset(name, scale=args.scale, seed=args.seed)
+            profile = graph_profile(graph)
+            body.append([
+                name, str(profile.num_vertices), str(profile.num_edges),
+                str(profile.num_labels),
+                f"{profile.dominant_label_share:.2f}",
+                f"{profile.label_entropy_bits:.2f}",
+                f"{profile.mean_giant_fraction:.2f}",
+                f"{profile.degree_gini:.2f}",
+            ])
+        emit("Dataset structural profiles\n" + render_rows(headers, body))
+    elapsed = time.perf_counter() - started
+    footer = f"[repro.eval.cli] completed {args.what} in {elapsed:.1f}s"
+    print(footer)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n" + footer + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Export experiment results to CSV and JSON.
+
+The table/figure functions in :mod:`repro.eval.tables` and
+:mod:`repro.eval.figures` return dataclass rows; these helpers serialize
+them so downstream analysis (spreadsheets, plotting notebooks) can consume
+a reproduction run without re-running anything.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import math
+import os
+from collections.abc import Sequence
+
+__all__ = ["rows_to_dicts", "write_csv", "write_json"]
+
+
+def _jsonable(value):
+    """Make a value JSON-serializable (inf/nan become strings)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def rows_to_dicts(rows: Sequence) -> list[dict]:
+    """Flatten a sequence of dataclass rows into plain dictionaries.
+
+    Nested dataclasses (e.g. ``Table4Cell.run.metrics``) are flattened with
+    dotted keys so the CSV stays two-dimensional.
+    """
+    dicts = []
+    for row in rows:
+        if not dataclasses.is_dataclass(row):
+            raise TypeError(f"expected a dataclass row, got {type(row)!r}")
+        flat: dict = {}
+
+        def flatten(prefix: str, obj) -> None:
+            for field in dataclasses.fields(obj):
+                value = getattr(obj, field.name)
+                key = f"{prefix}{field.name}"
+                if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                    flatten(key + ".", value)
+                elif isinstance(value, (list, tuple)):
+                    flat[key] = json.dumps(_jsonable(value))
+                else:
+                    flat[key] = _jsonable(value)
+
+        flatten("", row)
+        dicts.append(flat)
+    return dicts
+
+
+def write_csv(rows: Sequence, path: str | os.PathLike) -> None:
+    """Write dataclass rows as a CSV file with a header."""
+    dicts = rows_to_dicts(rows)
+    if not dicts:
+        raise ValueError("nothing to export")
+    fieldnames: list[str] = []
+    for record in dicts:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(dicts)
+
+
+def write_json(rows: Sequence, path: str | os.PathLike) -> None:
+    """Write dataclass rows as a JSON array."""
+    payload = [_jsonable(row) for row in rows]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)

@@ -1,0 +1,106 @@
+"""Multi-seed repetition of experiments with dispersion statistics.
+
+Single-seed experiment rows hide run-to-run variance (landmark selection,
+workload sampling and the synthetic generators are all randomized).  This
+module repeats a runner across seeds and reports mean ± standard deviation
+for every quality metric, which is what a careful reproduction should
+quote when a comparison is close (e.g. the Figure 6 proposed-vs-B-Best
+margins).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..graph.datasets import load_dataset
+from ..workloads.queries import generate_workload
+from .runner import baseline_query_seconds, run_chromland, run_powcov
+
+__all__ = ["MetricSummary", "RepeatedRun", "repeat_index_run"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and sample standard deviation of one metric across seeds."""
+
+    mean: float
+    std: float
+    num_seeds: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.num_seeds})"
+
+
+def _summarize(values: list[float]) -> MetricSummary:
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return MetricSummary(math.inf, 0.0, len(values))
+    mean = sum(finite) / len(finite)
+    if len(finite) > 1:
+        variance = sum((v - mean) ** 2 for v in finite) / (len(finite) - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return MetricSummary(mean, std, len(values))
+
+
+@dataclass(frozen=True)
+class RepeatedRun:
+    """Seed-aggregated quality of one (dataset, index, k) configuration."""
+
+    dataset: str
+    index: str
+    k: int
+    absolute_error: MetricSummary
+    relative_error: MetricSummary
+    exact_percent: MetricSummary
+    false_negative_percent: MetricSummary
+    speedup: MetricSummary
+
+
+def repeat_index_run(
+    dataset: str,
+    index: str,
+    k: int,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    scale: float = 0.25,
+    num_pairs: int = 80,
+    chromland_iterations: int = 1000,
+) -> RepeatedRun:
+    """Run one configuration across ``seeds`` and aggregate the metrics.
+
+    Each seed draws its own graph instance, workload and landmark
+    selection, so the dispersion covers the full pipeline.
+    """
+    if index not in ("powcov", "chromland"):
+        raise ValueError("index must be 'powcov' or 'chromland'")
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    abs_errors, rel_errors, exacts, fns, speedups = [], [], [], [], []
+    for seed in seeds:
+        graph, _spec = load_dataset(dataset, scale=scale, seed=seed)
+        workload = generate_workload(graph, num_pairs=num_pairs, seed=seed)
+        base = baseline_query_seconds(graph, workload, include_ch=False)
+        if index == "powcov":
+            run = run_powcov(graph, workload, k, seed=seed, baseline_seconds=base)
+        else:
+            run = run_chromland(
+                graph, workload, k, iterations=chromland_iterations,
+                seed=seed, baseline_seconds=base,
+            )
+        abs_errors.append(run.metrics.absolute_error)
+        rel_errors.append(run.metrics.relative_error)
+        exacts.append(run.metrics.exact_percent)
+        fns.append(run.metrics.false_negative_percent)
+        speedups.append(run.speedup)
+    return RepeatedRun(
+        dataset=dataset,
+        index=index,
+        k=k,
+        absolute_error=_summarize(abs_errors),
+        relative_error=_summarize(rel_errors),
+        exact_percent=_summarize(exacts),
+        false_negative_percent=_summarize(fns),
+        speedup=_summarize(speedups),
+    )

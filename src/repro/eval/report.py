@@ -1,0 +1,244 @@
+"""Automated verification of the paper's qualitative claims.
+
+A reproduction is only convincing if the *shape* of every result matches
+the paper: who wins, what grows with what, where the pathologies sit.
+This module encodes each such claim as a programmatic check over the
+regenerated tables/figures, and renders the verdicts as a markdown section
+(consumed by EXPERIMENTS.md and printable from the CLI).
+
+A failed check does not raise — reproductions on reduced-scale substrates
+legitimately wobble at individual data points — but every verdict is
+reported so drift is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .figures import Figure6Series
+from .tables import Table2Row, Table3Row, Table4Cell
+
+__all__ = [
+    "ClaimCheck",
+    "check_table2",
+    "check_table3",
+    "check_table4",
+    "check_figure6",
+    "render_report",
+]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Verdict on one qualitative claim."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    detail: str = ""
+
+
+def _fraction_true(pairs) -> tuple[int, int]:
+    outcomes = [bool(p) for p in pairs]
+    return sum(outcomes), len(outcomes)
+
+
+def check_table2(rows: list[Table2Row]) -> list[ClaimCheck]:
+    """Claims over index sizes (paper Table 2)."""
+    checks = []
+    good, total = _fraction_true(r.powcov_avg <= r.naive_avg for r in rows)
+    checks.append(
+        ClaimCheck(
+            "T2.1", "PowCov stores fewer distances per pair than the naive index",
+            good == total, f"{good}/{total} rows",
+        )
+    )
+    real = [r for r in rows if not r.dataset.startswith("synthetic")]
+    if real:
+        good, total = _fraction_true(r.saving_percent >= 50 for r in real)
+        checks.append(
+            ClaimCheck(
+                "T2.2", "real-dataset savings are large (paper: 83.8-94.8%)",
+                good == total,
+                "; ".join(f"{r.dataset}={r.saving_percent:.0f}%" for r in real),
+            )
+        )
+    synth = sorted(
+        (r for r in rows if r.dataset.startswith("synthetic")),
+        key=lambda r: r.num_labels,
+    )
+    if len(synth) >= 2:
+        increasing = all(
+            a.saving_percent <= b.saving_percent + 2  # small tolerance
+            for a, b in zip(synth, synth[1:])
+        )
+        checks.append(
+            ClaimCheck(
+                "T2.3", "synthetic savings grow with |L| (paper: 31.9% -> 87%)",
+                increasing,
+                " -> ".join(f"{r.saving_percent:.0f}%" for r in synth),
+            )
+        )
+        naive_growth = all(
+            b.naive_avg >= 1.5 * a.naive_avg for a, b in zip(synth, synth[1:])
+        )
+        checks.append(
+            ClaimCheck(
+                "T2.4", "naive per-pair footprint grows ~exponentially with |L|",
+                naive_growth,
+                " -> ".join(f"{r.naive_avg:.0f}" for r in synth),
+            )
+        )
+    return checks
+
+
+def check_table3(rows: list[Table3Row]) -> list[ClaimCheck]:
+    """Claims over indexing times (paper Table 3)."""
+    checks = []
+    powcov_rows = [r for r in rows if r.brute_tests > 0]
+    good, total = _fraction_true(
+        r.chromland_seconds < r.brute_seconds for r in powcov_rows
+    )
+    checks.append(
+        ClaimCheck(
+            "T3.1", "ChromLand indexing is much cheaper than PowCov per landmark",
+            good == total, f"{good}/{total} rows",
+        )
+    )
+    good, total = _fraction_true(
+        r.traverse_tests <= r.brute_tests for r in powcov_rows
+    )
+    checks.append(
+        ClaimCheck(
+            "T3.2", "TraversePowerset performs fewer SP-minimality tests "
+            "than BruteForce (paper's wall-clock savings, counter form)",
+            good == total, f"{good}/{total} rows",
+        )
+    )
+    synth = sorted(
+        (r for r in powcov_rows if r.dataset.startswith("synthetic")),
+        key=lambda r: r.num_labels,
+    )
+    if len(synth) >= 2:
+        trend = synth[-1].test_reduction_percent >= synth[0].test_reduction_percent
+        checks.append(
+            ClaimCheck(
+                "T3.3", "pruning effectiveness grows with |L| (paper: 31% -> 68%)",
+                trend,
+                " -> ".join(f"{r.test_reduction_percent:.0f}%" for r in synth),
+            )
+        )
+    return checks
+
+
+def check_table4(cells: list[Table4Cell]) -> list[ClaimCheck]:
+    """Claims over query processing (paper Table 4)."""
+    checks = []
+    by_key = {(c.dataset, c.index, c.k): c.run for c in cells}
+    datasets = sorted({c.dataset for c in cells})
+    ks = sorted({c.k for c in cells})
+
+    comparisons = []
+    for dataset in datasets:
+        for k in ks:
+            powcov = by_key.get((dataset, "PowCov", k))
+            chroml = by_key.get((dataset, "ChromLand", k))
+            if powcov and chroml:
+                comparisons.append(
+                    powcov.metrics.absolute_error
+                    <= chroml.metrics.absolute_error + 1e-9
+                )
+    good, total = _fraction_true(comparisons)
+    checks.append(
+        ClaimCheck(
+            "T4.1", "PowCov is the more accurate index at every (dataset, k)",
+            good == total, f"{good}/{total} cells",
+        )
+    )
+
+    monotone = []
+    for dataset in datasets:
+        errors = [
+            by_key[(dataset, "PowCov", k)].metrics.absolute_error
+            for k in ks if (dataset, "PowCov", k) in by_key
+        ]
+        monotone.append(all(a >= b - 0.05 for a, b in zip(errors, errors[1:])))
+    good, total = _fraction_true(monotone)
+    checks.append(
+        ClaimCheck(
+            "T4.2", "PowCov error falls as landmarks increase",
+            good == total, f"{good}/{total} datasets",
+        )
+    )
+
+    fn_small = [
+        by_key[(dataset, "PowCov", ks[-1])].metrics.false_negative_percent <= 2.0
+        for dataset in datasets if (dataset, "PowCov", ks[-1]) in by_key
+    ]
+    good, total = _fraction_true(fn_small)
+    checks.append(
+        ClaimCheck(
+            "T4.3", "PowCov false negatives are rare at k=max "
+            "(paper: <=0.33% except String)",
+            good >= total - 1, f"{good}/{total} datasets under 2%",
+        )
+    )
+
+    speedups = [run.speedup >= 1.0 for run in by_key.values()]
+    good, total = _fraction_true(speedups)
+    checks.append(
+        ClaimCheck(
+            "T4.4", "both indexes answer faster than the exact baseline",
+            good >= int(0.9 * total), f"{good}/{total} runs at >=1x",
+        )
+    )
+    return checks
+
+
+def check_figure6(panels: list[Figure6Series]) -> list[ClaimCheck]:
+    """Claims over landmark selection (paper Figure 6)."""
+    checks = []
+    for index_name in ("PowCov", "ChromLand"):
+        wins_rnd = []
+        wins_best = []
+        for series in panels:
+            if series.index != index_name:
+                continue
+            for proposed, rnd, best in zip(
+                series.proposed, series.b_rnd, series.b_best
+            ):
+                wins_rnd.append(proposed <= rnd * 1.05)
+                wins_best.append(proposed <= best * 1.15)
+        good, total = _fraction_true(wins_rnd)
+        checks.append(
+            ClaimCheck(
+                f"F6.{index_name}.rnd",
+                f"{index_name}'s proposed selection beats B-Rnd",
+                good >= int(0.8 * total), f"{good}/{total} points",
+            )
+        )
+        good, total = _fraction_true(wins_best)
+        checks.append(
+            ClaimCheck(
+                f"F6.{index_name}.best",
+                f"{index_name}'s proposed selection matches or beats B-Best",
+                good >= int(0.7 * total), f"{good}/{total} points",
+            )
+        )
+    return checks
+
+
+def render_report(checks: list[ClaimCheck]) -> str:
+    """Markdown rendering of the claim verdicts."""
+    lines = ["| claim | description | verdict | detail |",
+             "|---|---|---|---|"]
+    for check in checks:
+        verdict = "PASS" if check.passed else "DRIFT"
+        lines.append(
+            f"| {check.claim_id} | {check.description} | {verdict} | "
+            f"{check.detail} |"
+        )
+    passed = sum(1 for c in checks if c.passed)
+    lines.append("")
+    lines.append(f"**{passed}/{len(checks)} claims reproduced.**")
+    return "\n".join(lines)

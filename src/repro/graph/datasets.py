@@ -1,0 +1,280 @@
+"""Dataset registry: paper datasets and their synthetic stand-ins.
+
+The paper evaluates on five real edge-labeled graphs (BioGrid, BioMine,
+String, DBLP, YouTube — Table 1) plus synthetic graphs from the generator of
+its reference [6].  The real datasets are not redistributable and far too
+large for a pure-Python substrate, so this module provides *simulated
+stand-ins* built with :mod:`repro.graph.generators`: same number of labels,
+same structural regime (power-law vs dense small-world vs clustered), scaled
+down roughly 10x.  The mapping and its rationale are documented in
+DESIGN.md ("Substitutions").
+
+Each stand-in is deterministic given its seed, so experiment outputs are
+reproducible run-to-run.
+
+The module also exposes the paper's toy figures (Figures 1, 2 and 5) as tiny
+graphs used by unit tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .builder import GraphBuilder
+from .labeled_graph import EdgeLabeledGraph
+from .generators import (
+    chromatic_cluster_graph,
+    labeled_barabasi_albert,
+    labeled_erdos_renyi,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_TABLE1",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "paper_synthetic",
+    "figure1_graph",
+    "figure2_graph",
+    "figure5_graph",
+    "toy_two_triangles",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a dataset stand-in.
+
+    ``paper_*`` fields record what the paper's Table 1 reports for the real
+    dataset; ``build`` produces the scaled synthetic equivalent.
+    """
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    num_labels: int
+    paper_diameter: int
+    paper_queries: int
+    description: str = ""
+    params: dict = field(default_factory=dict)
+
+
+#: Table 1 of the paper, verbatim (real-dataset characteristics).
+PAPER_TABLE1: dict[str, DatasetSpec] = {
+    "biogrid": DatasetSpec(
+        "biogrid", 26_806, 298_957, 7, 18, 19_037,
+        "protein-interaction network (thebiogrid.org)",
+    ),
+    "biomine": DatasetSpec(
+        "biomine", 943_510, 5_727_448, 7, 16, 20_799,
+        "biological interaction database (BioMinE project)",
+    ),
+    "string": DatasetSpec(
+        "string", 1_490_098, 8_886_639, 6, 19, 18_149,
+        "protein-interaction network (string-db.org)",
+    ),
+    "dblp": DatasetSpec(
+        "dblp", 47_598, 252_881, 8, 19, 18_611,
+        "co-authorship network with LDA topic labels",
+    ),
+    "youtube": DatasetSpec(
+        "youtube", 15_088, 19_923_067, 5, 6, 23_499,
+        "user network with 5 relationship types",
+    ),
+}
+
+
+def _biogrid_sim(scale: float, seed: int) -> EdgeLabeledGraph:
+    n = max(200, int(2700 * scale))
+    m = max(800, int(24_000 * scale))
+    return chromatic_cluster_graph(
+        n, m, num_labels=7, num_clusters=max(8, n // 28),
+        intra_fraction=0.65, label_noise=0.12, label_exponent=1.5,
+        locality=0.9, label_persistence=0.8, inter_label_coherence=0.7,
+        seed=seed,
+    )
+
+
+def _biomine_sim(scale: float, seed: int) -> EdgeLabeledGraph:
+    n = max(400, int(6000 * scale))
+    m = max(1600, int(42_000 * scale))
+    return chromatic_cluster_graph(
+        n, m, num_labels=7, num_clusters=max(10, n // 45),
+        intra_fraction=0.6, label_noise=0.2, label_exponent=1.2,
+        locality=0.9, label_persistence=0.7, inter_label_coherence=0.6,
+        seed=seed,
+    )
+
+
+def _string_sim(scale: float, seed: int) -> EdgeLabeledGraph:
+    # Strong label skew + little noise: rare labels induce fragmented
+    # per-label subgraphs, which is what drives the paper's high
+    # false-negative rate on String.
+    n = max(400, int(7000 * scale))
+    m = max(1500, int(40_000 * scale))
+    return chromatic_cluster_graph(
+        n, m, num_labels=6, num_clusters=max(16, n // 60),
+        intra_fraction=0.85, label_noise=0.03, label_exponent=1.6, seed=seed,
+    )
+
+
+def _dblp_sim(scale: float, seed: int) -> EdgeLabeledGraph:
+    n = max(300, int(4000 * scale))
+    m = max(900, int(22_000 * scale))
+    return chromatic_cluster_graph(
+        n, m, num_labels=8, num_clusters=max(12, n // 25),
+        intra_fraction=0.7, label_noise=0.1, label_exponent=0.9,
+        locality=0.92, label_persistence=0.9, inter_label_coherence=0.75,
+        seed=seed,
+    )
+
+
+def _youtube_sim(scale: float, seed: int) -> EdgeLabeledGraph:
+    # Dense, tiny diameter (paper: 6): power-law with high average degree.
+    n = max(200, int(1500 * scale))
+    return labeled_barabasi_albert(
+        n, edges_per_vertex=min(20, n // 8), num_labels=5,
+        preference_strength=0.55, label_exponent=0.8, seed=seed,
+    )
+
+
+#: name -> (paper spec, builder(scale, seed)).
+DATASETS = {
+    "biogrid-sim": (PAPER_TABLE1["biogrid"], _biogrid_sim),
+    "biomine-sim": (PAPER_TABLE1["biomine"], _biomine_sim),
+    "string-sim": (PAPER_TABLE1["string"], _string_sim),
+    "dblp-sim": (PAPER_TABLE1["dblp"], _dblp_sim),
+    "youtube-sim": (PAPER_TABLE1["youtube"], _youtube_sim),
+}
+
+
+def dataset_names() -> list[str]:
+    """Names accepted by :func:`load_dataset`, in the paper's Table order."""
+    return list(DATASETS)
+
+
+def load_dataset(
+    name: str, scale: float = 1.0, seed: int = 7
+) -> tuple[EdgeLabeledGraph, DatasetSpec]:
+    """Build the stand-in for dataset ``name`` at the given ``scale``.
+
+    ``scale = 1.0`` yields the default reproduction size (~10x smaller than
+    the paper's graphs); tests use ``scale`` around ``0.1``.
+    """
+    try:
+        spec, build = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        ) from None
+    return build(scale, seed), spec
+
+
+def paper_synthetic(
+    num_labels: int,
+    num_vertices: int = 5000,
+    num_edges: int = 25_000,
+    seed: int = 11,
+) -> EdgeLabeledGraph:
+    """The paper's synthetic family (Section 5, Table 1 last row).
+
+    The paper uses 500k vertices / 2.5M edges and varies the number of
+    labels in 4..100; we keep the 5:1 edge/vertex ratio and the generator
+    family ([6]) at a Python-friendly scale.
+    """
+    if num_labels < 2:
+        raise ValueError("the synthetic sweep needs at least 2 labels")
+    return chromatic_cluster_graph(
+        num_vertices,
+        num_edges,
+        num_labels=num_labels,
+        num_clusters=max(8, num_vertices // 100),
+        intra_fraction=0.6,
+        label_noise=0.2,
+        label_exponent=0.6,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Paper figures as toy graphs
+# ----------------------------------------------------------------------
+def figure1_graph() -> tuple[EdgeLabeledGraph, int, int]:
+    """The Figure 1 example: returns ``(graph, s, t)``.
+
+    Constructed so that, as the caption states,
+    ``d_{r}(s,t) = 4``, ``d_{r,g}(s,t) = 3`` and ``d_{r,g,o}(s,t) = 2``.
+    Labels: 0 = r(ed), 1 = g(reen), 2 = o(range).
+    """
+    builder = GraphBuilder()
+    s = builder.add_vertex("s")
+    t = builder.add_vertex("t")
+    # All-red path of length 4.
+    a1, a2, a3 = (builder.add_vertex(f"a{i}") for i in (1, 2, 3))
+    builder.add_edge("s", "a1", "r")
+    builder.add_edge("a1", "a2", "r")
+    builder.add_edge("a2", "a3", "r")
+    builder.add_edge("a3", "t", "r")
+    # Red/green path of length 3.
+    builder.add_vertex("b1")
+    builder.add_vertex("b2")
+    builder.add_edge("s", "b1", "r")
+    builder.add_edge("b1", "b2", "g")
+    builder.add_edge("b2", "t", "r")
+    # Orange/green path of length 2.
+    builder.add_vertex("c1")
+    builder.add_edge("s", "c1", "o")
+    builder.add_edge("c1", "t", "g")
+    return builder.build(), s, t
+
+
+def figure2_graph() -> tuple[EdgeLabeledGraph, int, int]:
+    """The Figure 2 example: returns ``(graph, x, u)``.
+
+    Three x-u paths with label sets {o}, {r,g} and {r,o}; {o} and {r,g} are
+    SP-minimal w.r.t. (x, u) while {r,o} is subsumed by {o}.
+    Dense label ids follow first-seen order of names: o=0, r=1, g=2.
+    """
+    builder = GraphBuilder()
+    x = builder.add_vertex("x")
+    u = builder.add_vertex("u")
+    builder.add_edge("x", "p", "o")
+    builder.add_edge("p", "u", "o")
+    builder.add_edge("x", "q", "r")
+    builder.add_edge("q", "u", "g")
+    builder.add_edge("x", "w1", "r")
+    builder.add_edge("w1", "w2", "o")
+    builder.add_edge("w2", "u", "o")
+    return builder.build(), x, u
+
+
+def figure5_graph() -> tuple[EdgeLabeledGraph, int, int, int]:
+    """The Figure 5 example: returns ``(graph, u, x, v)``.
+
+    A two-edge path ``u -r- x -g- v``.  ``{x}`` is a vertex cover but no
+    single chromatic landmark can answer ``⟨u, v, {r, g}⟩`` exactly.
+    """
+    builder = GraphBuilder()
+    u = builder.add_vertex("u")
+    x = builder.add_vertex("x")
+    v = builder.add_vertex("v")
+    builder.add_edge("u", "x", "r")
+    builder.add_edge("x", "v", "g")
+    return builder.build(), u, x, v
+
+
+def toy_two_triangles() -> EdgeLabeledGraph:
+    """Two triangles sharing a vertex, each monochromatic — a 7-edge fixture."""
+    builder = GraphBuilder()
+    for a, b in [("a", "b"), ("b", "c"), ("c", "a")]:
+        builder.add_edge(a, b, "red")
+    for a, b in [("c", "d"), ("d", "e"), ("e", "c")]:
+        builder.add_edge(a, b, "blue")
+    builder.add_edge("a", "e", "green")
+    return builder.build()
+
+
+def small_random(seed: int = 0, num_labels: int = 4) -> EdgeLabeledGraph:
+    """A small connected-ish random graph for tests (n=60, m=150)."""
+    return labeled_erdos_renyi(60, 150, num_labels=num_labels, seed=seed)

@@ -1,0 +1,152 @@
+"""Label hierarchies: querying through upper-level label categories.
+
+Footnote 2 of the paper: on RDF-style graphs "what really matters are the
+few upper-level labels of the hierarchies that are typically exploited to
+semantically organize the whole set of low-level labels".  This module
+makes that first-class: a :class:`LabelHierarchy` is a forest over label
+names whose leaves are the graph's edge labels; querying with an internal
+category expands to the bitmask of all leaf labels below it.
+
+Two usage modes:
+
+* **query-time expansion** — keep the graph at leaf granularity and pass
+  ``hierarchy.mask(graph, ["interaction"])`` as the constraint (exact,
+  zero preprocessing);
+* **index-time collapse** — :meth:`LabelHierarchy.collapse` rewrites the
+  graph so that each edge carries its ancestor category at a chosen depth,
+  shrinking ``|L|`` before building a PowCov index (the paper's practical
+  recipe; see :func:`repro.graph.transform.merge_labels`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from .labeled_graph import EdgeLabeledGraph
+from .transform import merge_labels
+
+__all__ = ["LabelHierarchy"]
+
+
+class LabelHierarchy:
+    """A forest of label categories over leaf label names.
+
+    Built from ``child -> parent`` edges; names without a parent are
+    roots.  Leaves must correspond to the graph's label names when used
+    against a graph.
+
+    >>> h = LabelHierarchy({"friend": "social", "family": "social",
+    ...                     "colleague": "work"})
+    >>> sorted(h.leaves_under("social"))
+    ['family', 'friend']
+    """
+
+    def __init__(self, parent_of: Mapping[str, str]):
+        self._parent: dict[str, str] = dict(parent_of)
+        self._children: dict[str, list[str]] = {}
+        for child, parent in self._parent.items():
+            if child == parent:
+                raise ValueError(f"{child!r} cannot be its own parent")
+            self._children.setdefault(parent, []).append(child)
+        # cycle check: walk up from every node with a visited set
+        for start in self._parent:
+            seen = {start}
+            node = start
+            while node in self._parent:
+                node = self._parent[node]
+                if node in seen:
+                    raise ValueError(f"hierarchy contains a cycle through {node!r}")
+                seen.add(node)
+
+    @property
+    def nodes(self) -> set[str]:
+        """All names mentioned anywhere in the forest."""
+        return set(self._parent) | set(self._children)
+
+    def roots(self) -> list[str]:
+        """Names with no parent, sorted."""
+        return sorted(
+            name for name in self.nodes if name not in self._parent
+        )
+
+    def is_leaf(self, name: str) -> bool:
+        return name not in self._children
+
+    def parent(self, name: str) -> str | None:
+        return self._parent.get(name)
+
+    def leaves_under(self, name: str) -> set[str]:
+        """All leaf names in the subtree rooted at ``name`` (itself if leaf)."""
+        if name not in self.nodes:
+            raise KeyError(f"unknown hierarchy node {name!r}")
+        if self.is_leaf(name):
+            return {name}
+        leaves: set[str] = set()
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            children = self._children.get(node)
+            if children is None:
+                leaves.add(node)
+            else:
+                stack.extend(children)
+        return leaves
+
+    def ancestor_at_depth(self, name: str, depth: int) -> str:
+        """The ancestor of ``name`` at the given depth (root = 0).
+
+        If ``name``'s own depth is ``<= depth``, ``name`` itself is
+        returned.
+        """
+        chain = [name]
+        node = name
+        while node in self._parent:
+            node = self._parent[node]
+            chain.append(node)
+        chain.reverse()  # root first
+        index = min(depth, len(chain) - 1)
+        return chain[index]
+
+    # ------------------------------------------------------------------
+    # Graph integration
+    # ------------------------------------------------------------------
+    def mask(self, graph: EdgeLabeledGraph, names: Iterable[str]) -> int:
+        """Constraint bitmask expanding category names to graph leaf labels.
+
+        Leaves not present in the graph's label universe are ignored
+        (hierarchies often cover more vocabulary than one dataset uses).
+        """
+        if graph.label_universe is None:
+            raise ValueError("graph has no label universe to expand against")
+        result = 0
+        for name in names:
+            leaves = self.leaves_under(name) if name in self.nodes else {name}
+            for leaf in leaves:
+                if leaf in graph.label_universe:
+                    result |= 1 << graph.label_universe.id(leaf)
+        return result
+
+    def collapse(self, graph: EdgeLabeledGraph, depth: int = 0) -> EdgeLabeledGraph:
+        """Rewrite edge labels to their depth-``depth`` ancestor categories.
+
+        The returned graph's labels are the distinct categories, in sorted
+        order, with a fresh label universe — the paper's "index the few
+        upper-level labels" preprocessing.
+        """
+        if graph.label_universe is None:
+            raise ValueError("graph has no label universe to collapse")
+        categories: list[str] = []
+        category_ids: dict[str, int] = {}
+        table = []
+        for leaf_id in range(graph.num_labels):
+            leaf = graph.label_universe.name(leaf_id)
+            category = (
+                self.ancestor_at_depth(leaf, depth) if leaf in self.nodes else leaf
+            )
+            if category not in category_ids:
+                category_ids[category] = len(categories)
+                categories.append(category)
+            table.append(category_ids[category])
+        return merge_labels(
+            graph, table, num_labels=len(categories), label_names=categories
+        )

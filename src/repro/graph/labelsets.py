@@ -1,0 +1,253 @@
+"""Bitmask algebra for label sets.
+
+Every algorithm in this package represents a set of edge labels as a plain
+Python ``int`` bitmask: label ``i`` (a dense integer in ``0..num_labels-1``)
+is present in the set ``mask`` iff bit ``i`` of ``mask`` is set.  This makes
+the two operations that dominate the paper's algorithms cheap:
+
+* subset test ``S <= C`` is ``S & C == S`` (one AND, one compare);
+* set size ``|S|`` is ``popcount(S)`` (``int.bit_count`` on 3.10+).
+
+This module collects the helpers used across the code base so that the
+bit-twiddling stays in one place.  All functions are pure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = [
+    "EMPTY",
+    "mask_from_labels",
+    "labels_from_mask",
+    "full_mask",
+    "popcount",
+    "is_subset",
+    "is_proper_subset",
+    "iter_submasks",
+    "iter_one_removed",
+    "iter_one_added",
+    "iter_masks_of_size",
+    "iter_all_masks",
+    "singleton_masks",
+    "mask_to_str",
+    "LabelUniverse",
+]
+
+#: The empty label set.
+EMPTY = 0
+
+# ``int.bit_count`` exists from Python 3.10; fall back to ``bin().count``.
+if hasattr(int, "bit_count"):
+
+    def popcount(mask: int) -> int:
+        """Number of labels in ``mask``."""
+        return mask.bit_count()
+
+else:  # pragma: no cover - exercised only on Python < 3.10
+
+    def popcount(mask: int) -> int:
+        """Number of labels in ``mask``."""
+        return bin(mask).count("1")
+
+
+def mask_from_labels(labels: Iterable[int]) -> int:
+    """Build a bitmask from an iterable of dense label ids.
+
+    >>> mask_from_labels([0, 2])
+    5
+    """
+    mask = 0
+    for label in labels:
+        if label < 0:
+            raise ValueError(f"label ids must be non-negative, got {label}")
+        mask |= 1 << label
+    return mask
+
+
+def labels_from_mask(mask: int) -> list[int]:
+    """Return the sorted list of label ids present in ``mask``.
+
+    >>> labels_from_mask(5)
+    [0, 2]
+    """
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    labels = []
+    index = 0
+    while mask:
+        if mask & 1:
+            labels.append(index)
+        mask >>= 1
+        index += 1
+    return labels
+
+
+def full_mask(num_labels: int) -> int:
+    """Mask containing every label ``0..num_labels-1``."""
+    if num_labels < 0:
+        raise ValueError(f"num_labels must be non-negative, got {num_labels}")
+    return (1 << num_labels) - 1
+
+
+def is_subset(sub: int, sup: int) -> bool:
+    """True iff ``sub`` is a (not necessarily proper) subset of ``sup``."""
+    return sub & sup == sub
+
+
+def is_proper_subset(sub: int, sup: int) -> bool:
+    """True iff ``sub`` is a strict subset of ``sup``."""
+    return sub != sup and sub & sup == sub
+
+
+def iter_submasks(mask: int) -> Iterator[int]:
+    """Iterate over every submask of ``mask``, including ``mask`` and 0.
+
+    Uses the classic ``sub = (sub - 1) & mask`` enumeration, which visits the
+    ``2^popcount(mask)`` submasks in decreasing numeric order.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def iter_one_removed(mask: int) -> Iterator[int]:
+    """Iterate over masks obtained by removing exactly one label from ``mask``.
+
+    These are the immediate subsets used by the Theorem 2 SP-minimality test.
+    """
+    remaining = mask
+    while remaining:
+        low_bit = remaining & -remaining
+        yield mask ^ low_bit
+        remaining ^= low_bit
+
+
+def iter_one_added(mask: int, num_labels: int) -> Iterator[int]:
+    """Iterate over masks obtained by adding one label not in ``mask``."""
+    absent = full_mask(num_labels) & ~mask
+    while absent:
+        low_bit = absent & -absent
+        yield mask | low_bit
+        absent ^= low_bit
+
+
+def iter_masks_of_size(size: int, num_labels: int) -> Iterator[int]:
+    """Iterate over all masks with exactly ``size`` bits set, ascending.
+
+    Uses Gosper's hack to walk same-popcount masks in increasing order.
+    """
+    if size < 0 or num_labels < 0:
+        raise ValueError("size and num_labels must be non-negative")
+    if size > num_labels:
+        return
+    if size == 0:
+        yield 0
+        return
+    limit = 1 << num_labels
+    mask = (1 << size) - 1
+    while mask < limit:
+        yield mask
+        # Gosper's hack: next higher integer with the same popcount.
+        lowest = mask & -mask
+        ripple = mask + lowest
+        mask = ripple | (((mask ^ ripple) >> 2) // lowest)
+
+
+def iter_all_masks(num_labels: int, include_empty: bool = False) -> Iterator[int]:
+    """Iterate over all ``2^num_labels`` masks in ascending numeric order."""
+    start = 0 if include_empty else 1
+    for mask in range(start, 1 << num_labels):
+        yield mask
+
+
+def singleton_masks(num_labels: int) -> list[int]:
+    """The ``num_labels`` masks containing exactly one label each."""
+    return [1 << label for label in range(num_labels)]
+
+
+def mask_to_str(mask: int, names: Sequence[str] | None = None) -> str:
+    """Human-readable rendering of a mask, e.g. ``{r,g}``.
+
+    ``names`` maps dense label ids to display names; ids are used when absent.
+    """
+    labels = labels_from_mask(mask)
+    if names is None:
+        parts = [str(label) for label in labels]
+    else:
+        parts = [names[label] for label in labels]
+    return "{" + ",".join(parts) + "}"
+
+
+class LabelUniverse:
+    """Bidirectional mapping between label *names* and dense label ids.
+
+    The graph substrate works on dense integer labels; user-facing APIs accept
+    arbitrary hashable names (strings in all the paper's datasets).  A
+    ``LabelUniverse`` owns that mapping and converts name collections to
+    bitmasks.
+
+    >>> universe = LabelUniverse(["red", "green", "blue"])
+    >>> universe.mask(["red", "blue"])
+    5
+    >>> universe.names_from_mask(5)
+    ['red', 'blue']
+    """
+
+    __slots__ = ("_names", "_ids")
+
+    def __init__(self, names: Iterable[str]):
+        self._names: list[str] = []
+        self._ids: dict[str, int] = {}
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its dense id."""
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        label_id = len(self._names)
+        self._names.append(name)
+        self._ids[name] = label_id
+        return label_id
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    @property
+    def names(self) -> list[str]:
+        """All registered names, in dense-id order."""
+        return list(self._names)
+
+    def id(self, name: str) -> int:
+        """Dense id of ``name``; raises ``KeyError`` for unknown names."""
+        return self._ids[name]
+
+    def name(self, label_id: int) -> str:
+        """Display name of dense id ``label_id``."""
+        return self._names[label_id]
+
+    def mask(self, names: Iterable[str]) -> int:
+        """Bitmask of the given label names."""
+        return mask_from_labels(self._ids[name] for name in names)
+
+    def names_from_mask(self, mask: int) -> list[str]:
+        """Display names present in ``mask``, in dense-id order."""
+        return [self._names[label] for label in labels_from_mask(mask)]
+
+    def full_mask(self) -> int:
+        """Mask containing every registered label."""
+        return full_mask(len(self._names))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LabelUniverse({self._names!r})"

@@ -1,0 +1,164 @@
+"""Graph and label transformations.
+
+Footnote 2 of the paper notes that RDF graphs with thousands of low-level
+predicates are queried through "the few upper-level labels of the
+hierarchies that are typically exploited to semantically organize the
+whole set of low-level labels" — i.e. practitioners *collapse* label
+hierarchies before indexing.  This module provides those preprocessing
+steps:
+
+* :func:`merge_labels` — apply an arbitrary label-to-label mapping
+  (e.g. hierarchy level-up);
+* :func:`collapse_rare_labels` — keep the ``k`` most frequent labels and
+  fold everything else into a single "other" label, the pragmatic RDF
+  recipe;
+* :func:`relabel_vertices` — permute/compact vertex ids;
+* :func:`extract_k_core` — iteratively strip low-degree vertices, the
+  usual densification step before landmark methods are applied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .labeled_graph import EdgeLabeledGraph
+from .labelsets import LabelUniverse
+
+__all__ = [
+    "merge_labels",
+    "collapse_rare_labels",
+    "relabel_vertices",
+    "extract_k_core",
+]
+
+
+def merge_labels(
+    graph: EdgeLabeledGraph,
+    mapping: Mapping[int, int] | Sequence[int],
+    num_labels: int | None = None,
+    label_names: Sequence[str] | None = None,
+) -> EdgeLabeledGraph:
+    """Rewrite every edge label through ``mapping`` (old id -> new id).
+
+    ``mapping`` may be a dict (missing ids map to themselves) or a dense
+    sequence of length ``graph.num_labels``.  Parallel edges whose labels
+    merge into the same new label are deduplicated.
+    """
+    if isinstance(mapping, Mapping):
+        table = np.arange(graph.num_labels, dtype=np.int64)
+        for old, new in mapping.items():
+            if not 0 <= old < graph.num_labels:
+                raise ValueError(f"label id {old} out of range")
+            table[old] = new
+    else:
+        if len(mapping) != graph.num_labels:
+            raise ValueError("dense mapping must cover every label")
+        table = np.asarray(mapping, dtype=np.int64)
+    if (table < 0).any():
+        raise ValueError("mapped label ids must be non-negative")
+    if num_labels is None:
+        num_labels = int(table.max()) + 1
+
+    universe = None
+    if label_names is not None:
+        universe = LabelUniverse(label_names)
+        if len(universe) < num_labels:
+            raise ValueError("label_names must cover every new label id")
+
+    seen: set[tuple[int, int, int]] = set()
+    edges = []
+    for u, v, label in graph.iter_edges():
+        new_label = int(table[label])
+        key = (u, v, new_label) if graph.directed else (min(u, v), max(u, v), new_label)
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append((u, v, new_label))
+    return EdgeLabeledGraph.from_edges(
+        graph.num_vertices, edges, num_labels=num_labels,
+        directed=graph.directed, label_universe=universe,
+    )
+
+
+def collapse_rare_labels(
+    graph: EdgeLabeledGraph, keep: int, other_name: str = "other"
+) -> EdgeLabeledGraph:
+    """Keep the ``keep`` most frequent labels; fold the rest into one.
+
+    The surviving labels keep their relative frequency order (new id 0 is
+    the most frequent); the fold-all bucket gets the last id.  This is the
+    RDF-hierarchy recipe from the paper's footnote 2 reduced to its
+    frequency-based core.
+    """
+    if not 1 <= keep < graph.num_labels:
+        raise ValueError("keep must be in [1, num_labels)")
+    frequencies = graph.label_frequencies()
+    order = np.argsort(-frequencies, kind="stable")
+    table = np.full(graph.num_labels, keep, dtype=np.int64)  # default: other
+    names = []
+    for new_id, old_id in enumerate(order[:keep]):
+        table[old_id] = new_id
+        if graph.label_universe is not None:
+            names.append(graph.label_universe.name(int(old_id)))
+        else:
+            names.append(f"label_{int(old_id)}")
+    names.append(other_name)
+    return merge_labels(graph, table, num_labels=keep + 1, label_names=names)
+
+
+def relabel_vertices(
+    graph: EdgeLabeledGraph, permutation: Sequence[int]
+) -> EdgeLabeledGraph:
+    """Renumber vertices: new id of vertex ``v`` is ``permutation[v]``."""
+    perm = np.asarray(permutation, dtype=np.int64)
+    if len(perm) != graph.num_vertices:
+        raise ValueError("permutation must cover every vertex")
+    if sorted(perm.tolist()) != list(range(graph.num_vertices)):
+        raise ValueError("permutation must be a bijection on vertex ids")
+    edges = [
+        (int(perm[u]), int(perm[v]), label) for u, v, label in graph.iter_edges()
+    ]
+    return EdgeLabeledGraph.from_edges(
+        graph.num_vertices, edges, num_labels=graph.num_labels,
+        directed=graph.directed, label_universe=graph.label_universe,
+    )
+
+
+def extract_k_core(graph: EdgeLabeledGraph, k: int) -> tuple[EdgeLabeledGraph, np.ndarray]:
+    """The maximal subgraph with all degrees ``>= k``.
+
+    Returns ``(core_graph, kept_vertices)`` where ``kept_vertices`` maps the
+    core's dense ids back to the original ids.  Undirected graphs only.
+    """
+    if graph.directed:
+        raise ValueError("k-core extraction supports undirected graphs")
+    if k < 1:
+        raise ValueError("k must be positive")
+    alive = np.ones(graph.num_vertices, dtype=bool)
+    degree = graph.degrees().astype(np.int64)
+    changed = True
+    while changed:
+        drop = alive & (degree < k)
+        changed = bool(drop.any())
+        if not changed:
+            break
+        for v in np.nonzero(drop)[0]:
+            alive[v] = False
+            for u, _label in graph.iter_neighbors(int(v)):
+                if alive[u]:
+                    degree[u] -= 1
+        degree[drop] = 0
+    kept = np.nonzero(alive)[0]
+    new_id = {int(old): i for i, old in enumerate(kept)}
+    edges = [
+        (new_id[u], new_id[v], label)
+        for u, v, label in graph.iter_edges()
+        if alive[u] and alive[v]
+    ]
+    core = EdgeLabeledGraph.from_edges(
+        len(kept), edges, num_labels=graph.num_labels,
+        directed=False, label_universe=graph.label_universe,
+    )
+    return core, kept

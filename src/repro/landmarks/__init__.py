@@ -1,0 +1,23 @@
+"""Landmark-selection strategies (Sections 3.3, 4.3 and 5.3)."""
+
+from .betweenness import approximate_betweenness, top_betweenness_vertices
+from .strategies import STRATEGIES, select_landmarks
+from .vertex_cover import (
+    covered_edges,
+    exact_min_vertex_cover,
+    greedy_max_cover,
+    is_vertex_cover,
+    two_approx_vertex_cover,
+)
+
+__all__ = [
+    "approximate_betweenness",
+    "top_betweenness_vertices",
+    "STRATEGIES",
+    "select_landmarks",
+    "covered_edges",
+    "exact_min_vertex_cover",
+    "greedy_max_cover",
+    "is_vertex_cover",
+    "two_approx_vertex_cover",
+]

@@ -1,0 +1,95 @@
+"""Unified landmark-selection API.
+
+Section 5.3 of the paper evaluates the proposed selectors (GreedyMVC for
+PowCov, local-search ``k``-median for ChromLand) against baselines:
+
+* ``random`` — B-Rnd, uniform random vertices;
+* ``degree`` — TopDegreeMVC, the ``k`` highest-degree vertices;
+* ``betweenness`` — highest approximate betweenness centrality;
+* ``vertex-cover-degree`` / ``vertex-cover-betweenness`` — pick from a
+  2-approximate vertex cover, ranked by degree or betweenness (a full
+  cover restricted to ``k`` members);
+* ``greedy-mvc`` — the paper's PowCov selector.
+
+``select_landmarks(graph, k, strategy, seed)`` dispatches by name, which is
+how the Figure 6 experiment sweeps strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.labeled_graph import EdgeLabeledGraph
+from .betweenness import approximate_betweenness, top_betweenness_vertices
+from .vertex_cover import greedy_max_cover, two_approx_vertex_cover
+
+__all__ = ["STRATEGIES", "select_landmarks"]
+
+
+def _random(graph: EdgeLabeledGraph, k: int, seed: int | None) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(v) for v in rng.choice(graph.num_vertices, size=k, replace=False)]
+
+
+def _degree(graph: EdgeLabeledGraph, k: int, seed: int | None) -> list[int]:
+    ranked = np.argsort(-graph.degrees(), kind="stable")
+    return [int(v) for v in ranked[:k]]
+
+
+def _betweenness(graph: EdgeLabeledGraph, k: int, seed: int | None) -> list[int]:
+    return top_betweenness_vertices(graph, k, seed=seed)
+
+
+def _greedy_mvc(graph: EdgeLabeledGraph, k: int, seed: int | None) -> list[int]:
+    return greedy_max_cover(graph, k)
+
+
+def _cover_ranked(
+    graph: EdgeLabeledGraph, k: int, seed: int | None, by: str
+) -> list[int]:
+    cover = two_approx_vertex_cover(graph, seed=seed)
+    if by == "degree":
+        scores = graph.degrees()[cover]
+    else:
+        scores = approximate_betweenness(graph, seed=seed)[cover]
+    ranked = np.argsort(-scores, kind="stable")
+    picked = [cover[int(i)] for i in ranked[:k]]
+    if len(picked) < k:
+        # Tiny graphs: the cover may have fewer than k vertices; pad with
+        # the highest-degree non-cover vertices.
+        chosen = set(picked)
+        for v in np.argsort(-graph.degrees(), kind="stable"):
+            if len(picked) == k:
+                break
+            if int(v) not in chosen:
+                picked.append(int(v))
+                chosen.add(int(v))
+    return picked
+
+
+STRATEGIES = {
+    "random": _random,
+    "degree": _degree,
+    "betweenness": _betweenness,
+    "greedy-mvc": _greedy_mvc,
+    "vertex-cover-degree": lambda g, k, s: _cover_ranked(g, k, s, "degree"),
+    "vertex-cover-betweenness": lambda g, k, s: _cover_ranked(g, k, s, "betweenness"),
+}
+
+
+def select_landmarks(
+    graph: EdgeLabeledGraph, k: int, strategy: str = "greedy-mvc", seed: int | None = 0
+) -> list[int]:
+    """Select ``k`` landmark vertices with the named strategy."""
+    if not 1 <= k <= graph.num_vertices:
+        raise ValueError(f"k must be in [1, n], got {k}")
+    try:
+        fn = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; available: {', '.join(STRATEGIES)}"
+        ) from None
+    landmarks = fn(graph, k, seed)
+    if len(landmarks) != k or len(set(landmarks)) != k:
+        raise AssertionError(f"strategy {strategy} returned a bad landmark set")
+    return landmarks

@@ -1,0 +1,132 @@
+"""Vertex-cover algorithms underlying PowCov landmark selection.
+
+Theorem 3 of the paper: a landmark set makes the PowCov index exact on
+*every* query iff it is a vertex cover of the graph; Corollary 1 reduces
+exact landmark selection to minimum vertex cover.  Since minimum covers are
+usually ``Ω(n)``, Section 3.3 relaxes to ``k``-MAX-VERTEX-COVER — pick ``k``
+vertices covering as many edges as possible — solved greedily
+(:func:`greedy_max_cover`, the paper's GreedyMVC) with the classic
+``max(1 - 1/e, k/n)`` guarantee (Theorem 4).
+
+This module provides:
+
+* :func:`greedy_max_cover` — GreedyMVC;
+* :func:`two_approx_vertex_cover` — the maximal-matching 2-approximation,
+  used to quantify how large full covers are and as a Figure 6 baseline pool;
+* :func:`is_vertex_cover` / :func:`exact_min_vertex_cover` — verification
+  helpers (the exact solver is exponential and guarded for tiny graphs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+
+import numpy as np
+
+from ..graph.labeled_graph import EdgeLabeledGraph
+
+__all__ = [
+    "greedy_max_cover",
+    "two_approx_vertex_cover",
+    "is_vertex_cover",
+    "exact_min_vertex_cover",
+    "covered_edges",
+]
+
+
+def greedy_max_cover(graph: EdgeLabeledGraph, k: int) -> list[int]:
+    """GreedyMVC: repeatedly take the vertex covering most uncovered edges.
+
+    Lazy-greedy implementation: marginal gains only decrease as edges get
+    covered (submodularity), so stale heap entries are re-evaluated on pop
+    instead of updating every neighbor eagerly.  Runs in
+    ``O(m + n log n + k · Δ)`` in practice.
+    """
+    if not 1 <= k <= graph.num_vertices:
+        raise ValueError(f"k must be in [1, n], got {k}")
+    covered = np.zeros(graph.num_arcs, dtype=bool)  # per stored arc
+    # For undirected graphs each edge appears as two arcs; covering one
+    # covers its twin.  Twin lookup: sort arcs of v to find (v -> u).
+    gains = graph.degrees().astype(np.int64)
+    heap = [(-int(gains[v]), int(v)) for v in range(graph.num_vertices)]
+    heapq.heapify(heap)
+    selected: list[int] = []
+    chosen = np.zeros(graph.num_vertices, dtype=bool)
+
+    def current_gain(v: int) -> int:
+        start, stop = graph.indptr[v], graph.indptr[v + 1]
+        return int((~covered[start:stop]).sum())
+
+    while heap and len(selected) < k:
+        negative_gain, v = heapq.heappop(heap)
+        if chosen[v]:
+            continue
+        gain = current_gain(v)
+        if gain < -negative_gain:
+            heapq.heappush(heap, (-gain, v))  # stale entry: re-queue
+            continue
+        selected.append(v)
+        chosen[v] = True
+        start, stop = graph.indptr[v], graph.indptr[v + 1]
+        covered[start:stop] = True
+        if not graph.directed:
+            # Mark the reverse arcs (u -> v) covered as well.
+            for i in range(start, stop):
+                u = int(graph.neighbors[i])
+                u_start, u_stop = graph.indptr[u], graph.indptr[u + 1]
+                block = graph.neighbors[u_start:u_stop]
+                covered[u_start:u_stop] |= block == v
+    return selected
+
+
+def covered_edges(graph: EdgeLabeledGraph, vertices: list[int]) -> int:
+    """Number of edges with at least one endpoint in ``vertices``."""
+    in_set = np.zeros(graph.num_vertices, dtype=bool)
+    in_set[list(vertices)] = True
+    count = 0
+    for u, v, _label in graph.iter_edges():
+        if in_set[u] or in_set[v]:
+            count += 1
+    return count
+
+
+def is_vertex_cover(graph: EdgeLabeledGraph, vertices: list[int]) -> bool:
+    """True iff every edge has an endpoint in ``vertices``."""
+    return covered_edges(graph, vertices) == _distinct_edge_count(graph)
+
+
+def _distinct_edge_count(graph: EdgeLabeledGraph) -> int:
+    return sum(1 for _ in graph.iter_edges())
+
+
+def two_approx_vertex_cover(
+    graph: EdgeLabeledGraph, seed: int | None = 0
+) -> list[int]:
+    """Maximal-matching 2-approximation of minimum vertex cover.
+
+    Scans edges in a seeded random order, adding both endpoints of every
+    edge not yet covered.  The result is a genuine vertex cover at most
+    twice the optimum — the construction referenced in Section 3.3.
+    """
+    edges = list(graph.iter_edges())
+    rng = np.random.default_rng(seed)
+    rng.shuffle(edges)
+    in_cover = np.zeros(graph.num_vertices, dtype=bool)
+    for u, v, _label in edges:
+        if not in_cover[u] and not in_cover[v]:
+            in_cover[u] = True
+            in_cover[v] = True
+    return [int(v) for v in np.nonzero(in_cover)[0]]
+
+
+def exact_min_vertex_cover(graph: EdgeLabeledGraph) -> list[int]:
+    """Exhaustive minimum vertex cover (tests only; guarded to n <= 16)."""
+    if graph.num_vertices > 16:
+        raise ValueError("exact cover is exponential; use graphs with n <= 16")
+    vertices = range(graph.num_vertices)
+    for size in range(graph.num_vertices + 1):
+        for subset in combinations(vertices, size):
+            if is_vertex_cover(graph, list(subset)):
+                return list(subset)
+    return list(vertices)  # pragma: no cover - loop always returns

@@ -1,0 +1,18 @@
+"""Query workload generation (Section 5 experimental setup)."""
+
+from .queries import LabeledQuery, Workload, generate_workload, random_label_set
+from .streams import (
+    fixed_context_stream,
+    locality_biased_stream,
+    size_skewed_stream,
+)
+
+__all__ = [
+    "LabeledQuery",
+    "Workload",
+    "generate_workload",
+    "random_label_set",
+    "fixed_context_stream",
+    "locality_biased_stream",
+    "size_skewed_stream",
+]

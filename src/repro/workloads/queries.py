@@ -1,0 +1,133 @@
+"""Query-workload generation, following Section 5 of the paper.
+
+The paper builds each dataset's workload as follows:
+
+1. sample 5 000 random pairs of *connected* vertices;
+2. for each pair, draw ``|L|`` random label sets, one of each size
+   ``1, 2, ..., |L|``;
+3. keep only the queries whose exact constrained distance is finite
+   ("there is no need to consider unreachable pairs as the proposed
+   indexes guarantee that no false positives can arise").
+
+:func:`generate_workload` reproduces that recipe (with a configurable pair
+count — the default reproduction uses fewer pairs than the paper because
+every exact distance must be computed in Python).  The returned
+:class:`Workload` carries the ground-truth distances so that evaluation
+never recomputes them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.labeled_graph import EdgeLabeledGraph
+from ..graph.labelsets import full_mask
+from ..graph.traversal import UNREACHABLE, bfs, bidirectional_constrained_bfs
+
+__all__ = ["LabeledQuery", "Workload", "generate_workload", "random_label_set"]
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """One LC-PPSPD query with its exact (ground-truth) distance."""
+
+    source: int
+    target: int
+    label_mask: int
+    exact: float
+
+
+@dataclass
+class Workload:
+    """A bundle of queries over one graph."""
+
+    graph: EdgeLabeledGraph
+    queries: list[LabeledQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def average_distance(self) -> float:
+        """Mean exact distance (all stored queries are finite by design)."""
+        if not self.queries:
+            return 0.0
+        return sum(q.exact for q in self.queries) / len(self.queries)
+
+
+def random_label_set(rng: np.random.Generator, num_labels: int, size: int) -> int:
+    """A uniformly random label mask of exactly ``size`` labels."""
+    if not 1 <= size <= num_labels:
+        raise ValueError(f"size must be in [1, num_labels], got {size}")
+    labels = rng.choice(num_labels, size=size, replace=False)
+    mask = 0
+    for label in labels:
+        mask |= 1 << int(label)
+    return mask
+
+
+def generate_workload(
+    graph: EdgeLabeledGraph,
+    num_pairs: int = 500,
+    seed: int | None = 0,
+    keep_infinite: bool = False,
+) -> Workload:
+    """Sample the paper's workload over ``graph``.
+
+    Parameters
+    ----------
+    num_pairs:
+        Number of connected vertex pairs (the paper uses 5 000; the default
+        here is scaled to the reproduction's graph sizes).
+    keep_infinite:
+        Keep queries with ``d_C = ∞`` as well (the paper drops them; tests
+        for false-positive behaviour set this to True).
+    """
+    if num_pairs < 1:
+        raise ValueError("num_pairs must be positive")
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    universe = full_mask(graph.num_labels)
+
+    queries: list[LabeledQuery] = []
+    pairs_found = 0
+    attempts = 0
+    max_attempts = 200 * num_pairs
+    reach_cache: dict[int, np.ndarray] = {}
+    while pairs_found < num_pairs and attempts < max_attempts:
+        attempts += 1
+        s = int(rng.integers(0, n))
+        t = int(rng.integers(0, n))
+        if s == t:
+            continue
+        # Connectivity filter on the *unconstrained* graph, as in the paper.
+        reach = reach_cache.get(s)
+        if reach is None:
+            reach = bfs(graph, s)
+            if len(reach_cache) > 64:
+                reach_cache.clear()
+            reach_cache[s] = reach
+        if reach[t] == UNREACHABLE:
+            continue
+        pairs_found += 1
+        for size in range(1, graph.num_labels + 1):
+            mask = random_label_set(rng, graph.num_labels, size)
+            exact = (
+                float(reach[t])
+                if mask == universe
+                else bidirectional_constrained_bfs(graph, s, t, mask)
+            )
+            if math.isinf(exact) and not keep_infinite:
+                continue
+            queries.append(LabeledQuery(s, t, mask, exact))
+    if pairs_found < num_pairs:
+        raise RuntimeError(
+            f"could not sample {num_pairs} connected pairs "
+            f"(found {pairs_found}); is the graph mostly disconnected?"
+        )
+    return Workload(graph=graph, queries=queries)

@@ -1,0 +1,114 @@
+"""Query-stream generators beyond the paper's evaluation recipe.
+
+The Section 5 workload (:mod:`repro.workloads.queries`) draws uniform label
+sets of every size for random connected pairs — right for benchmarking,
+but deployed systems see different distributions.  These generators model
+the serving-side streams used by the examples and extension benchmarks:
+
+* :func:`size_skewed_stream` — label-set sizes follow a geometric law
+  (most user contexts are small);
+* :func:`locality_biased_stream` — endpoint pairs are sampled within a
+  bounded BFS ball (sessions explore neighborhoods, not uniform pairs);
+* :func:`fixed_context_stream` — one constraint set for the whole stream
+  (a single tenant's context), endpoints uniform.
+
+None of these compute exact distances — they produce raw
+``(source, target, label_mask)`` triples for throughput-style runs; use
+:func:`repro.workloads.generate_workload` when ground truth is needed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..graph.labeled_graph import EdgeLabeledGraph
+from ..graph.traversal import UNREACHABLE, constrained_bfs
+from .queries import random_label_set
+
+__all__ = [
+    "size_skewed_stream",
+    "locality_biased_stream",
+    "fixed_context_stream",
+]
+
+
+def size_skewed_stream(
+    graph: EdgeLabeledGraph,
+    num_queries: int,
+    seed: int | None = 0,
+    success_probability: float = 0.5,
+) -> list[tuple[int, int, int]]:
+    """Uniform endpoint pairs with geometrically distributed |C|.
+
+    ``P(|C| = s) ∝ (1 - p)^(s-1)`` truncated at ``|L|`` — small contexts
+    dominate, mirroring interactive query logs.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    if not 0 < success_probability < 1:
+        raise ValueError("success_probability must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(num_queries):
+        size = 1 + int(rng.geometric(success_probability)) - 1
+        size = min(max(size, 1), graph.num_labels)
+        mask = random_label_set(rng, graph.num_labels, size)
+        s = int(rng.integers(graph.num_vertices))
+        t = int(rng.integers(graph.num_vertices))
+        queries.append((s, t, mask))
+    return queries
+
+
+def locality_biased_stream(
+    graph: EdgeLabeledGraph,
+    num_queries: int,
+    radius: int = 4,
+    seed: int | None = 0,
+) -> list[tuple[int, int, int]]:
+    """Pairs sampled within a BFS ball of ``radius`` around random centers.
+
+    Produces the short-distance-heavy distribution typical of exploration
+    sessions; the constraint is the full label set of each ball's edges.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    if radius < 1:
+        raise ValueError("radius must be positive")
+    rng = np.random.default_rng(seed)
+    queries: list[tuple[int, int, int]] = []
+    attempts = 0
+    while len(queries) < num_queries and attempts < 50 * num_queries:
+        attempts += 1
+        center = int(rng.integers(graph.num_vertices))
+        dist = constrained_bfs(graph, center)
+        in_ball = np.nonzero((dist != UNREACHABLE) & (dist <= radius))[0]
+        if len(in_ball) < 2:
+            continue
+        per_center = min(8, num_queries - len(queries))
+        mask = (1 << graph.num_labels) - 1
+        for _ in range(per_center):
+            s, t = rng.choice(in_ball, size=2, replace=False)
+            queries.append((int(s), int(t), mask))
+    if len(queries) < num_queries:
+        raise RuntimeError("could not populate the stream; graph too sparse")
+    return queries
+
+
+def fixed_context_stream(
+    graph: EdgeLabeledGraph,
+    label_mask: int,
+    num_queries: int,
+    seed: int | None = 0,
+) -> Iterator[tuple[int, int, int]]:
+    """An endless-style stream with one constraint set (lazily generated)."""
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    if label_mask <= 0:
+        raise ValueError("label_mask must be non-empty")
+    rng = np.random.default_rng(seed)
+    for _ in range(num_queries):
+        s = int(rng.integers(graph.num_vertices))
+        t = int(rng.integers(graph.num_vertices))
+        yield (s, t, label_mask)

@@ -1,0 +1,131 @@
+"""Tests for the exact baselines (bidirectional BFS and CH)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BidirectionalBFSBaseline,
+    LabelConstrainedCH,
+    UnidirectionalBFSBaseline,
+)
+from repro.baselines.rice_tsotras import _pareto_insert
+from repro.graph.generators import labeled_erdos_renyi, labeled_grid
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import full_mask
+
+from conftest import exact_constrained_distance
+
+
+class TestParetoInsert:
+    def test_insert_into_empty(self):
+        entries: list[tuple[int, int]] = []
+        assert _pareto_insert(entries, 3, 0b01)
+        assert entries == [(3, 0b01)]
+
+    def test_dominated_rejected(self):
+        entries = [(2, 0b01)]
+        assert not _pareto_insert(entries, 3, 0b11)  # longer AND wider
+        assert not _pareto_insert(entries, 2, 0b01)  # identical
+        assert entries == [(2, 0b01)]
+
+    def test_dominating_evicts(self):
+        entries = [(5, 0b11)]
+        assert _pareto_insert(entries, 3, 0b01)
+        assert entries == [(3, 0b01)]
+
+    def test_incomparable_coexist(self):
+        entries = [(2, 0b10)]
+        assert _pareto_insert(entries, 3, 0b01)  # longer but narrower
+        assert sorted(entries) == [(2, 0b10), (3, 0b01)]
+        assert _pareto_insert(entries, 1, 0b100)
+        assert len(entries) == 3
+
+
+class TestBidirectionalBaseline:
+    def test_matches_reference(self, random_graph):
+        oracle = BidirectionalBFSBaseline(random_graph)
+        uni = UnidirectionalBFSBaseline(random_graph)
+        for s in range(0, 60, 11):
+            for t in range(1, 60, 13):
+                for mask in (1, 5, 15):
+                    expected = exact_constrained_distance(random_graph, s, t, mask)
+                    assert oracle.query(s, t, mask) == expected
+                    assert uni.query(s, t, mask) == expected
+
+    def test_same_vertex(self, random_graph):
+        assert UnidirectionalBFSBaseline(random_graph).query(4, 4, 1) == 0.0
+
+
+class TestCHExactness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(12, 35), st.integers(15, 70), st.integers(1, 4),
+        st.integers(0, 300),
+    )
+    def test_random_graphs_all_masks(self, n, m, labels, seed):
+        g = labeled_erdos_renyi(n, m, num_labels=labels, seed=seed)
+        ch = LabelConstrainedCH(g, degree_limit=64).build()
+        universe = full_mask(labels)
+        for s in range(0, n, max(1, n // 4)):
+            for t in range(1, n, max(1, n // 3)):
+                for mask in range(1, universe + 1):
+                    expected = exact_constrained_distance(g, s, t, mask)
+                    assert ch.query(s, t, mask) == expected, (s, t, mask)
+
+    def test_grid_exactness(self):
+        g = labeled_grid(8, 8, 3, seed=1)
+        ch = LabelConstrainedCH(g).build()
+        for s in (0, 17, 39):
+            for t in (5, 30, 63):
+                for mask in (1, 3, 7):
+                    assert ch.query(s, t, mask) == exact_constrained_distance(
+                        g, s, t, mask
+                    )
+
+    def test_small_degree_limit_still_exact(self):
+        g = labeled_erdos_renyi(40, 120, num_labels=3, seed=7)
+        ch = LabelConstrainedCH(g, degree_limit=2).build()  # huge core
+        for s, t in ((0, 39), (5, 20), (11, 33)):
+            for mask in (1, 3, 7):
+                assert ch.query(s, t, mask) == exact_constrained_distance(
+                    g, s, t, mask
+                )
+
+    def test_same_vertex(self, random_graph):
+        ch = LabelConstrainedCH(random_graph).build()
+        assert ch.query(3, 3, 1) == 0.0
+
+    def test_unreachable(self):
+        g = EdgeLabeledGraph.from_edges(4, [(0, 1, 0), (2, 3, 1)], num_labels=2)
+        ch = LabelConstrainedCH(g).build()
+        assert math.isinf(ch.query(0, 3, 0b11))
+        assert math.isinf(ch.query(0, 1, 0b10))  # wrong label
+
+
+class TestCHStructure:
+    def test_query_before_build(self, random_graph):
+        with pytest.raises(RuntimeError):
+            LabelConstrainedCH(random_graph).query(0, 1, 1)
+
+    def test_directed_rejected(self):
+        g = EdgeLabeledGraph.from_edges(2, [(0, 1, 0)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            LabelConstrainedCH(g)
+
+    def test_degree_limit_validation(self, random_graph):
+        with pytest.raises(ValueError):
+            LabelConstrainedCH(random_graph, degree_limit=0)
+
+    def test_core_shrinks_with_degree_limit(self):
+        g = labeled_erdos_renyi(100, 300, num_labels=3, seed=0)
+        loose = LabelConstrainedCH(g, degree_limit=64).build()
+        tight = LabelConstrainedCH(g, degree_limit=4).build()
+        assert loose.core_size <= tight.core_size
+
+    def test_describe(self, random_graph):
+        ch = LabelConstrainedCH(random_graph).build()
+        assert "core=" in ch.describe()

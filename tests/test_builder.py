@@ -1,0 +1,87 @@
+"""Tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", "red")
+        builder.add_edge("b", "c", "green")
+        g = builder.build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.num_labels == 2
+        assert g.label_universe.names == ["red", "green"]
+
+    def test_vertex_ids_first_seen_order(self):
+        builder = GraphBuilder()
+        builder.add_edge("x", "y", "l")
+        builder.add_edge("y", "z", "l")
+        assert builder.vertex_names == ["x", "y", "z"]
+
+    def test_duplicate_edges_dropped(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", "red")
+        builder.add_edge("a", "b", "red")
+        builder.add_edge("b", "a", "red")  # reversed duplicate (undirected)
+        assert builder.num_edges_added == 1
+
+    def test_directed_keeps_both_orientations(self):
+        builder = GraphBuilder(directed=True)
+        builder.add_edge("a", "b", "l")
+        builder.add_edge("b", "a", "l")
+        assert builder.num_edges_added == 2
+        g = builder.build()
+        assert g.directed
+
+    def test_parallel_edges_with_distinct_labels_kept(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", "red")
+        builder.add_edge("a", "b", "green")
+        assert builder.num_edges_added == 2
+
+    def test_self_loop_rejected(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError, match="self-loop"):
+            builder.add_edge("a", "a", "l")
+
+    def test_integer_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", 3)
+        g = builder.build()
+        assert g.num_labels == 4  # ids 0..3 materialized
+        assert g.edge_label(0, 1) == 3
+
+    def test_negative_integer_label_rejected(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError):
+            builder.add_edge("a", "b", -2)
+
+    def test_add_isolated_vertex(self):
+        builder = GraphBuilder()
+        builder.add_vertex("lonely")
+        builder.add_edge("a", "b", "l")
+        g = builder.build()
+        assert g.num_vertices == 3
+        assert g.degree(0) == 0  # "lonely" was added first
+
+    def test_build_with_explicit_num_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", "red")
+        g = builder.build(num_labels=5)
+        assert g.num_labels == 5
+
+    def test_empty_builder(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_arbitrary_hashable_vertex_names(self):
+        builder = GraphBuilder()
+        builder.add_edge((1, 2), (3, 4), "l")
+        assert builder.vertex_id((1, 2)) == 0

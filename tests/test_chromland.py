@@ -1,0 +1,171 @@
+"""Tests for the ChromLand index and its two query strategies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.chromland import ChromLandIndex
+from repro.core.chromland.query import (
+    auxiliary_graph_distance,
+    simple_triangle_distance,
+)
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.traversal import UNREACHABLE, constrained_bfs
+
+from conftest import all_pairs_all_masks, make_line
+
+
+@pytest.fixture(scope="module")
+def built():
+    graph = labeled_erdos_renyi(45, 130, num_labels=3, seed=17)
+    landmarks = [0, 5, 11, 17, 23, 29, 35, 41]
+    colors = [0, 1, 2, 0, 1, 2, 0, 1]
+    aux = ChromLandIndex(graph, landmarks, colors).build()
+    simple = ChromLandIndex(graph, landmarks, colors, query_mode="simple").build()
+    return graph, landmarks, colors, aux, simple
+
+
+class TestConstruction:
+    def test_parallel_arrays_required(self, random_graph):
+        with pytest.raises(ValueError, match="parallel"):
+            ChromLandIndex(random_graph, [0, 1], [0])
+
+    def test_duplicate_landmarks_rejected(self, random_graph):
+        with pytest.raises(ValueError, match="distinct"):
+            ChromLandIndex(random_graph, [0, 0], [0, 1])
+
+    def test_color_out_of_range(self, random_graph):
+        with pytest.raises(ValueError, match="color"):
+            ChromLandIndex(random_graph, [0], [99])
+
+    def test_bad_query_mode(self, random_graph):
+        with pytest.raises(ValueError, match="query_mode"):
+            ChromLandIndex(random_graph, [0], [0], query_mode="psychic")
+
+    def test_query_before_build(self, random_graph):
+        index = ChromLandIndex(random_graph, [0], [0])
+        with pytest.raises(RuntimeError):
+            index.query(0, 1, 1)
+
+
+class TestStoredDistances:
+    def test_mono_rows_match_constrained_bfs(self, built):
+        graph, landmarks, colors, aux, _ = built
+        for i, (x, c) in enumerate(zip(landmarks, colors)):
+            expected = constrained_bfs(graph, x, 1 << c)
+            assert np.array_equal(aux.mono[i], expected)
+
+    def test_bichromatic_symmetric(self, built):
+        _, _, _, aux, _ = built
+        assert np.array_equal(aux.bi, aux.bi.T)
+
+    def test_bichromatic_values(self, built):
+        graph, landmarks, colors, aux, _ = built
+        for i, (x, cx) in enumerate(zip(landmarks, colors)):
+            for j, (y, cy) in enumerate(zip(landmarks, colors)):
+                if i == j or cx == cy:
+                    continue
+                mask = (1 << cx) | (1 << cy)
+                expected = constrained_bfs(graph, x, mask)[y]
+                assert aux.bi[i, j] == expected
+
+    def test_chromatic_distance_accessor(self, built):
+        graph, landmarks, colors, aux, _ = built
+        expected = constrained_bfs(graph, landmarks[0], 1 << colors[0])
+        for u in (1, 2, 3):
+            want = float(expected[u]) if expected[u] != UNREACHABLE else math.inf
+            assert aux.chromatic_distance(0, u) == want
+
+
+class TestQueryBounds:
+    def test_upper_bound_no_false_positives(self, built):
+        graph, _, _, aux, simple = built
+        for s, t, mask, exact in all_pairs_all_masks(graph):
+            if s == t:
+                continue
+            est_aux = aux.query(s, t, mask)
+            est_simple = simple.query(s, t, mask)
+            if math.isinf(exact):
+                assert math.isinf(est_aux)
+                assert math.isinf(est_simple)
+            else:
+                assert est_aux >= exact
+                assert est_simple >= exact
+
+    def test_auxiliary_never_worse_than_simple(self, built):
+        graph, _, _, aux, simple = built
+        for s in range(0, graph.num_vertices, 4):
+            for t in range(1, graph.num_vertices, 5):
+                for mask in range(1, 8):
+                    assert aux.query(s, t, mask) <= simple.query(s, t, mask)
+
+    def test_same_vertex_and_empty_mask(self, built):
+        _, _, _, aux, _ = built
+        assert aux.query(4, 4, 7) == 0.0
+        assert math.isinf(aux.query(0, 1, 0))
+
+    def test_no_usable_landmark_gives_infinity(self):
+        graph = make_line([0, 1], num_labels=3)
+        index = ChromLandIndex(graph, [1], [0]).build()
+        # Query constraint {label 2}: the single landmark has color 0.
+        assert math.isinf(index.query(0, 2, 0b100))
+
+
+class TestMultiLandmarkComposition:
+    def test_figure3_style_two_landmark_path(self):
+        """A two-color path answered exactly only via two landmarks."""
+        # s -g- x -g- y -o- t with landmarks x (green) and y (orange).
+        g = EdgeLabeledGraph.from_edges(
+            4, [(0, 1, 0), (1, 2, 0), (2, 3, 1)], num_labels=2
+        )
+        index = ChromLandIndex(g, [1, 2], [0, 1]).build()
+        # Simple strategy: no single landmark sees both s and t.
+        simple = ChromLandIndex(g, [1, 2], [0, 1], query_mode="simple").build()
+        assert math.isinf(simple.query(0, 3, 0b11))
+        # Auxiliary graph composes s->x (green), x->y (green), y->t (orange).
+        assert index.query(0, 3, 0b11) == 3.0
+
+    def test_figure5_vertex_cover_insufficient(self, figure5):
+        """Figure 5: {x} is a vertex cover but ChromLand cannot be exact."""
+        graph, u, x, v = figure5
+        for color in range(graph.num_labels):
+            index = ChromLandIndex(graph, [x], [color]).build()
+            estimate = index.query(u, v, 0b11)
+            assert math.isinf(estimate)  # whatever the color, no answer
+
+    def test_same_color_landmarks_do_not_chain(self):
+        """Same-color landmark pairs have no auxiliary edge (paper's G_X)."""
+        g = make_line([0, 0, 0, 0], num_labels=2)
+        index = ChromLandIndex(g, [1, 3], [0, 0]).build()
+        assert index.bi[0, 1] == UNREACHABLE
+        # Single-landmark bounds still answer the query exactly here.
+        assert index.query(0, 4, 0b01) == 4.0
+
+
+class TestQueryHelpers:
+    def test_simple_triangle_empty_usable(self):
+        mono = np.zeros((2, 5), dtype=np.int32)
+        assert simple_triangle_distance(
+            mono, np.array([], dtype=np.int64), 0, 1
+        ) == math.inf
+
+    def test_auxiliary_empty_usable(self):
+        mono = np.zeros((2, 5), dtype=np.int32)
+        bi = np.zeros((2, 2), dtype=np.int32)
+        colors = np.array([0, 1])
+        assert auxiliary_graph_distance(
+            mono, bi, colors, np.array([], dtype=np.int64), 0, 1
+        ) == math.inf
+
+    def test_index_size_entries(self, built):
+        graph, landmarks, _, aux, _ = built
+        k = len(landmarks)
+        assert aux.index_size_entries() == k * graph.num_vertices + k * (k - 1) // 2
+
+    def test_describe(self, built):
+        _, _, _, aux, _ = built
+        assert "chromland" in aux.describe()

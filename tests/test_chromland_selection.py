@@ -1,0 +1,136 @@
+"""Tests for ChromLand landmark/color selection (k-median local search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chromland.selection import (
+    ChromLandSelection,
+    local_search_selection,
+    majority_colors,
+    objective_value,
+    random_selection,
+)
+from repro.graph.generators import labeled_erdos_renyi
+
+from conftest import make_line
+
+
+class TestObjective:
+    def test_single_landmark_line(self):
+        g = make_line([0, 0, 0], num_labels=2)
+        # Landmark at vertex 0 colored 0: sims are [self, 1, 1/2, 1/3].
+        value = objective_value(g, [0], [0])
+        assert value == pytest.approx(2.0 + 1.0 + 0.5 + 1.0 / 3.0)
+
+    def test_wrong_color_scores_low(self):
+        g = make_line([0, 0, 0], num_labels=2)
+        # Color 1 appears on no edge: only the self term remains.
+        assert objective_value(g, [0], [1]) == pytest.approx(2.0)
+
+    def test_max_over_landmarks(self):
+        g = make_line([0, 0], num_labels=1)
+        both_ends = objective_value(g, [0, 2], [0, 0])
+        # vertex 1 is at distance 1 from either: max is 1.0 (not 2.0)
+        assert both_ends == pytest.approx(2.0 + 2.0 + 1.0)
+
+
+class TestMajorityColors:
+    def test_majority(self):
+        g = make_line([0, 0, 1], num_labels=2)
+        assert majority_colors(g, [1]) == [0]  # both incident edges label 0
+        assert majority_colors(g, [3]) == [1]
+
+    def test_isolated_vertex_fallback(self):
+        from repro.graph.labeled_graph import EdgeLabeledGraph
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 1)], num_labels=2)
+        assert majority_colors(g, [2]) == [0]
+
+
+class TestRandomSelection:
+    def test_basic(self, random_graph):
+        sel = random_selection(random_graph, 8, seed=1)
+        assert len(sel.landmarks) == 8
+        assert len(set(sel.landmarks)) == 8
+        assert len(sel.colors) == 8
+        assert all(0 <= c < random_graph.num_labels for c in sel.colors)
+        assert sel.objective > 0
+
+    def test_majority_mode(self, random_graph):
+        sel = random_selection(random_graph, 5, seed=2, color_mode="majority")
+        assert sel.colors == majority_colors(random_graph, sel.landmarks)
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ValueError):
+            random_selection(random_graph, 0)
+        with pytest.raises(ValueError):
+            random_selection(random_graph, 3, color_mode="rainbow")
+
+    def test_deterministic(self, random_graph):
+        a = random_selection(random_graph, 6, seed=7)
+        b = random_selection(random_graph, 6, seed=7)
+        assert a.landmarks == b.landmarks and a.colors == b.colors
+
+
+class TestLocalSearch:
+    def test_objective_never_decreases_vs_start(self):
+        g = labeled_erdos_renyi(60, 180, num_labels=4, seed=3)
+        start = random_selection(g, 8, seed=11)
+        improved = local_search_selection(g, 8, iterations=60, seed=11)
+        # Same seed reproduces the same random start, so the searched
+        # solution can only be at least as good.
+        assert improved.objective >= start.objective
+
+    def test_reported_objective_is_correct(self):
+        g = labeled_erdos_renyi(40, 120, num_labels=3, seed=5)
+        sel = local_search_selection(g, 5, iterations=40, seed=5)
+        assert sel.objective == pytest.approx(
+            objective_value(g, sel.landmarks, sel.colors), rel=1e-6
+        )
+
+    def test_landmarks_stay_distinct(self):
+        g = labeled_erdos_renyi(30, 90, num_labels=3, seed=6)
+        sel = local_search_selection(g, 6, iterations=80, seed=6)
+        assert len(set(sel.landmarks)) == 6
+
+    def test_zero_iterations_is_random_start(self):
+        g = labeled_erdos_renyi(30, 90, num_labels=3, seed=8)
+        sel = local_search_selection(g, 4, iterations=0, seed=8)
+        assert len(sel.landmarks) == 4
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ValueError):
+            local_search_selection(random_graph, 0)
+        with pytest.raises(ValueError):
+            local_search_selection(random_graph, 2, iterations=-1)
+
+    def test_improves_query_accuracy_over_random(self):
+        """The headline Figure 6 claim at miniature scale."""
+        from repro.core.chromland import ChromLandIndex
+        from conftest import exact_constrained_distance
+        import math
+
+        g = labeled_erdos_renyi(80, 320, num_labels=3, seed=9)
+        rng = np.random.default_rng(0)
+        queries = []
+        while len(queries) < 60:
+            s, t = int(rng.integers(80)), int(rng.integers(80))
+            mask = int(rng.integers(1, 8))
+            exact = exact_constrained_distance(g, s, t, mask)
+            if s != t and not math.isinf(exact):
+                queries.append((s, t, mask, exact))
+
+        def total_error(selection):
+            index = ChromLandIndex(g, selection.landmarks, selection.colors).build()
+            total = 0.0
+            for s, t, mask, exact in queries:
+                estimate = index.query(s, t, mask)
+                total += (estimate - exact) if not math.isinf(estimate) else 10.0
+            return total
+
+        rand_err = np.mean([
+            total_error(random_selection(g, 10, seed=s)) for s in range(3)
+        ])
+        ls_err = total_error(local_search_selection(g, 10, iterations=150, seed=0))
+        assert ls_err <= rand_err * 1.05  # allow a little noise

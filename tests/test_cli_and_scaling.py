@@ -1,0 +1,67 @@
+"""Tests for the CLI entry point and the scaling experiment."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.cli import main
+from repro.eval.scaling import render_scaling, scaling_sweep
+
+
+class TestScalingSweep:
+    def test_points_structure(self):
+        points = scaling_sweep(
+            dataset="youtube-sim", scales=(0.1, 0.2), k=4, num_pairs=20,
+            seed=3, chromland_iterations=5,
+        )
+        assert len(points) == 2
+        small, large = points
+        assert large.num_vertices > small.num_vertices
+        assert small.exact_query_seconds > 0
+        assert small.powcov_speedup > 0
+        text = render_scaling(points)
+        assert "speed-up" in text.lower()
+
+    def test_exact_cost_grows_with_scale(self):
+        points = scaling_sweep(
+            dataset="biogrid-sim", scales=(0.1, 0.4), k=4, num_pairs=15,
+            seed=3, chromland_iterations=5,
+        )
+        assert points[1].exact_query_seconds > points[0].exact_query_seconds
+
+
+class TestCli:
+    def test_table1_runs(self, capsys, tmp_path):
+        out = tmp_path / "t1.txt"
+        code = main(["table1", "--scale", "0.1", "--pairs", "15",
+                     "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table 1" in captured
+        assert out.read_text().startswith("Table 1")
+
+    def test_csv_export(self, capsys, tmp_path):
+        csv_dir = tmp_path / "csv"
+        code = main(["table1", "--scale", "0.1", "--pairs", "15",
+                     "--csv-dir", str(csv_dir)])
+        assert code == 0
+        assert (csv_dir / "table1.csv").exists()
+        header = (csv_dir / "table1.csv").read_text().splitlines()[0]
+        assert "dataset" in header
+
+    def test_profile_runs(self, capsys):
+        code = main(["profile", "--scale", "0.1"])
+        assert code == 0
+        assert "structural profiles" in capsys.readouterr().out
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_ks_parsing(self, capsys):
+        # table2 with a custom k exercises the int parsing path quickly.
+        code = main(["table2", "--scale", "0.08", "--k", "3"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Tests for the dataset registry and the paper's toy figures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    PAPER_TABLE1,
+    dataset_names,
+    figure1_graph,
+    figure2_graph,
+    figure5_graph,
+    load_dataset,
+    paper_synthetic,
+    toy_two_triangles,
+)
+from repro.graph.traversal import bidirectional_constrained_bfs
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == [
+            "biogrid-sim", "biomine-sim", "string-sim", "dblp-sim", "youtube-sim",
+        ]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("no-such-thing")
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_label_counts_match_paper(self, name):
+        graph, spec = load_dataset(name, scale=0.1)
+        assert graph.num_labels == spec.num_labels
+
+    def test_scale_changes_size(self):
+        small, _ = load_dataset("biogrid-sim", scale=0.1)
+        large, _ = load_dataset("biogrid-sim", scale=0.4)
+        assert large.num_vertices > small.num_vertices
+
+    def test_deterministic(self):
+        a, _ = load_dataset("dblp-sim", scale=0.1, seed=5)
+        b, _ = load_dataset("dblp-sim", scale=0.1, seed=5)
+        assert a == b
+
+    def test_paper_metadata(self):
+        spec = PAPER_TABLE1["youtube"]
+        assert spec.paper_vertices == 15_088
+        assert spec.num_labels == 5
+        assert spec.paper_diameter == 6
+
+    def test_paper_synthetic_sizes(self):
+        g = paper_synthetic(6, num_vertices=800, num_edges=4000)
+        assert g.num_vertices == 800
+        assert g.num_labels == 6
+
+    def test_paper_synthetic_validation(self):
+        with pytest.raises(ValueError):
+            paper_synthetic(1)
+
+
+class TestFigure1:
+    def test_caption_distances(self):
+        graph, s, t = figure1_graph()
+        mask = graph.mask
+        assert bidirectional_constrained_bfs(graph, s, t, mask(["r"])) == 4
+        assert bidirectional_constrained_bfs(graph, s, t, mask(["r", "g"])) == 3
+        assert (
+            bidirectional_constrained_bfs(graph, s, t, mask(["r", "g", "o"])) == 2
+        )
+
+    def test_green_only_disconnects(self):
+        graph, s, t = figure1_graph()
+        assert math.isinf(
+            bidirectional_constrained_bfs(graph, s, t, graph.mask(["g"]))
+        )
+
+
+class TestFigure2:
+    def test_three_path_label_sets(self):
+        graph, x, u = figure2_graph()
+        mask = graph.mask
+        assert bidirectional_constrained_bfs(graph, x, u, mask(["o"])) == 2
+        assert bidirectional_constrained_bfs(graph, x, u, mask(["r", "g"])) == 2
+        assert bidirectional_constrained_bfs(graph, x, u, mask(["r", "o"])) == 2
+        assert math.isinf(bidirectional_constrained_bfs(graph, x, u, mask(["r"])))
+
+
+class TestFigure5:
+    def test_two_color_path(self):
+        graph, u, x, v = figure5_graph()
+        mask = graph.mask
+        assert bidirectional_constrained_bfs(graph, u, v, mask(["r", "g"])) == 2
+        assert math.isinf(bidirectional_constrained_bfs(graph, u, v, mask(["r"])))
+
+
+class TestToyFixtures:
+    def test_two_triangles(self):
+        g = toy_two_triangles()
+        assert g.num_vertices == 5
+        assert g.num_edges == 7
+        assert g.num_labels == 3

@@ -1,0 +1,154 @@
+"""Integration tests: the experiment harness end to end (miniature scale)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.eval.figures import figure6, render_figure6
+from repro.eval.runner import (
+    baseline_query_seconds,
+    run_chromland,
+    run_naive,
+    run_powcov,
+    speedup_factor,
+)
+from repro.eval.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.graph.datasets import load_dataset
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    graph, _spec = load_dataset("youtube-sim", scale=0.15, seed=3)
+    workload = generate_workload(graph, num_pairs=30, seed=3)
+    base = baseline_query_seconds(graph, workload, limit=20, include_ch=False)
+    return graph, workload, base
+
+
+class TestRunner:
+    def test_run_powcov(self, tiny_setup):
+        graph, workload, base = tiny_setup
+        run = run_powcov(graph, workload, k=6, baseline_seconds=base)
+        assert run.num_landmarks == 6
+        assert run.build_seconds > 0
+        assert run.metrics.num_queries == len(workload)
+        assert run.avg_entries_per_pair > 0
+        assert run.per_landmark_build_seconds == pytest.approx(
+            run.build_seconds / 6
+        )
+        assert run.speedup > 0
+
+    def test_run_chromland_all_selections(self, tiny_setup):
+        graph, workload, base = tiny_setup
+        for selection in ("local-search", "random", "random-majority",
+                          "degree-majority", "degree-random"):
+            run = run_chromland(
+                graph, workload, k=6, selection=selection, iterations=10,
+                seed=1, baseline_seconds=base,
+            )
+            assert run.index_name == f"chromland[{selection}]"
+            assert run.metrics.num_queries == len(workload)
+
+    def test_run_chromland_unknown_selection(self, tiny_setup):
+        graph, workload, base = tiny_setup
+        with pytest.raises(ValueError, match="unknown ChromLand selection"):
+            run_chromland(graph, workload, k=3, selection="tarot",
+                          baseline_seconds=base)
+
+    def test_run_naive_matches_powcov_quality(self, tiny_setup):
+        graph, workload, base = tiny_setup
+        naive = run_naive(graph, workload, k=4, baseline_seconds=base)
+        powcov = run_powcov(graph, workload, k=4, baseline_seconds=base)
+        assert naive.metrics.absolute_error == pytest.approx(
+            powcov.metrics.absolute_error
+        )
+        assert naive.avg_entries_per_pair > powcov.avg_entries_per_pair
+
+    def test_speedup_factor(self):
+        from repro.eval.metrics import OracleMetrics
+        metrics = OracleMetrics(1, 0, 0, 1, 0, mean_query_seconds=0.001)
+        assert speedup_factor(0.01, metrics) == pytest.approx(10.0)
+
+
+class TestTables:
+    def test_table1(self):
+        rows = table1(scale=0.1, num_pairs=20, seed=5)
+        assert len(rows) == 5
+        text = render_table1(rows)
+        assert "biogrid-sim" in text and "paper n" in text
+
+    def test_table2_structure_and_shape(self):
+        rows = table2(
+            scale=0.12, k=4, seed=5, synthetic_labels=(4, 6),
+            synthetic_vertices=400, synthetic_edges=2000,
+            datasets=("youtube-sim",),
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert row.powcov_avg <= row.naive_avg  # PowCov never bigger
+            assert 0 <= row.saving_percent <= 100
+        # savings grow with |L| on the synthetic sweep (paper's trend)
+        synth = [r for r in rows if r.dataset.startswith("synthetic")]
+        assert synth[0].saving_percent < synth[1].saving_percent
+        assert "saving%" in render_table2(rows)
+
+    def test_table3_structure(self):
+        rows = table3(
+            scale=0.12, k=2, seed=5, synthetic_labels=(4,),
+            chromland_labels=(12,), synthetic_vertices=300,
+            synthetic_edges=1500, datasets=("youtube-sim",),
+        )
+        assert len(rows) == 3
+        powcov_rows = [r for r in rows if r.brute_tests > 0]
+        for row in powcov_rows:
+            assert row.traverse_tests <= row.brute_tests
+            assert row.traverse_sssps <= row.brute_sssps
+            assert row.chromland_seconds < row.brute_seconds
+        text = render_table3(rows)
+        assert "ChromLand s/lm" in text and "(ChromLand only)" in text
+
+    def test_table4_structure(self):
+        cells = table4(
+            scale=0.12, ks=(4, 8), num_pairs=25, seed=5,
+            datasets=("youtube-sim",), chromland_iterations=10,
+        )
+        assert len(cells) == 4  # 2 ks x 2 indexes
+        for cell in cells:
+            assert cell.run.metrics.relative_error >= 0
+            assert not math.isnan(cell.run.speedup)
+        powcov = {c.k: c.run for c in cells if c.index == "PowCov"}
+        chroml = {c.k: c.run for c in cells if c.index == "ChromLand"}
+        # PowCov at least as accurate as ChromLand for equal k (paper claim)
+        for k in (4, 8):
+            assert (
+                powcov[k].metrics.absolute_error
+                <= chroml[k].metrics.absolute_error + 1e-9
+            )
+        assert "speed-up" in render_table4(cells)
+
+
+class TestFigure6:
+    def test_structure(self):
+        panels = figure6(
+            scale=0.12, ks=(4, 8), num_pairs=20, seed=5,
+            datasets=("youtube-sim",), chromland_iterations=10,
+        )
+        assert len(panels) == 2  # PowCov + ChromLand
+        for series in panels:
+            assert len(series.proposed) == 2
+            assert len(series.b_rnd) == 2
+            assert len(series.b_best) == 2
+            assert all(v >= 0 for v in series.proposed)
+        text = render_figure6(panels)
+        assert "Figure 6" in text and "B-Rnd" in text

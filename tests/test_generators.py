@@ -1,0 +1,173 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    chromatic_cluster_graph,
+    labeled_barabasi_albert,
+    labeled_erdos_renyi,
+    labeled_grid,
+    zipf_label_distribution,
+)
+from repro.graph.traversal import connected_components
+
+
+class TestZipf:
+    def test_uniform_at_zero_exponent(self):
+        probs = zipf_label_distribution(4, 0.0)
+        assert np.allclose(probs, 0.25)
+
+    def test_sums_to_one(self):
+        assert np.isclose(zipf_label_distribution(9, 1.3).sum(), 1.0)
+
+    def test_decreasing(self):
+        probs = zipf_label_distribution(5, 1.0)
+        assert (np.diff(probs) < 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_label_distribution(0)
+
+
+class TestChromaticCluster:
+    def test_sizes(self):
+        g = chromatic_cluster_graph(500, 2000, num_labels=5, seed=0)
+        assert g.num_vertices == 500
+        assert g.num_edges <= 2000
+        assert g.num_edges >= 1700  # dedup eats only a small fraction
+        assert g.num_labels == 5
+
+    def test_deterministic(self):
+        a = chromatic_cluster_graph(200, 800, 4, seed=3)
+        b = chromatic_cluster_graph(200, 800, 4, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = chromatic_cluster_graph(200, 800, 4, seed=3)
+        b = chromatic_cluster_graph(200, 800, 4, seed=4)
+        assert a != b
+
+    def test_all_labels_in_range(self):
+        g = chromatic_cluster_graph(300, 1200, 6, seed=1)
+        assert int(g.edge_labels.max()) < 6
+        assert int(g.edge_labels.min()) >= 0
+
+    def test_label_skew(self):
+        g = chromatic_cluster_graph(500, 3000, 6, label_exponent=1.8, seed=2)
+        freqs = g.label_frequencies()
+        assert freqs[0] > freqs[-1] * 2  # heavy skew
+
+    def test_mostly_connected(self):
+        g = chromatic_cluster_graph(400, 2400, 5, seed=5)
+        comp = connected_components(g)
+        assert np.bincount(comp).max() >= 0.9 * g.num_vertices
+
+    def test_locality_increases_diameter(self):
+        from repro.graph.traversal import estimate_diameter
+        local = chromatic_cluster_graph(
+            600, 3000, 4, num_clusters=30, locality=0.98, seed=0
+        )
+        global_ = chromatic_cluster_graph(
+            600, 3000, 4, num_clusters=30, locality=0.0, seed=0
+        )
+        assert estimate_diameter(local) > estimate_diameter(global_)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            chromatic_cluster_graph(100, 300, 4, intra_fraction=1.5)
+        with pytest.raises(ValueError):
+            chromatic_cluster_graph(100, 300, 4, label_noise=-0.1)
+        with pytest.raises(ValueError):
+            chromatic_cluster_graph(100, 300, 4, label_persistence=2.0)
+        with pytest.raises(ValueError):
+            chromatic_cluster_graph(100, 300, 4, inter_label_coherence=-1.0)
+
+    def test_label_persistence_connects_label_subgraphs(self):
+        """Higher persistence/coherence must raise per-label connectivity."""
+        from repro.graph.stats import graph_profile
+
+        fragmented = chromatic_cluster_graph(
+            1000, 6000, 6, num_clusters=50, label_persistence=0.0,
+            inter_label_coherence=0.0, label_noise=0.1, seed=3,
+        )
+        coherent = chromatic_cluster_graph(
+            1000, 6000, 6, num_clusters=50, label_persistence=0.9,
+            inter_label_coherence=0.8, label_noise=0.1, seed=3,
+        )
+        assert (
+            graph_profile(coherent).mean_giant_fraction
+            > graph_profile(fragmented).mean_giant_fraction
+        )
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        g = labeled_erdos_renyi(300, 900, 4, seed=0)
+        assert g.num_vertices == 300
+        assert 700 <= g.num_edges <= 900
+
+    def test_deterministic(self):
+        assert labeled_erdos_renyi(100, 200, 3, seed=9) == labeled_erdos_renyi(
+            100, 200, 3, seed=9
+        )
+
+    def test_no_self_loops(self):
+        g = labeled_erdos_renyi(50, 200, 3, seed=1)
+        for u, v, _ in g.iter_edges():
+            assert u != v
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        g = labeled_barabasi_albert(300, 5, 4, seed=0)
+        assert g.num_vertices == 300
+        # ~ (n - m0) * m edges
+        assert g.num_edges >= (300 - 5) * 5 * 0.8
+
+    def test_power_law_hubs(self):
+        g = labeled_barabasi_albert(800, 4, 4, seed=1)
+        degrees = np.sort(g.degrees())[::-1]
+        assert degrees[0] > 5 * np.median(degrees)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            labeled_barabasi_albert(5, 10, 3)
+        with pytest.raises(ValueError):
+            labeled_barabasi_albert(10, 0, 3)
+
+    def test_connected(self):
+        g = labeled_barabasi_albert(200, 3, 4, seed=2)
+        comp = connected_components(g)
+        assert np.bincount(comp).max() >= 0.99 * g.num_vertices
+
+
+class TestGrid:
+    def test_structure(self):
+        g = labeled_grid(5, 7, 3, seed=0)
+        assert g.num_vertices == 35
+        assert g.num_edges == 5 * 6 + 4 * 7  # vertical + horizontal
+
+    def test_max_degree_four(self):
+        g = labeled_grid(6, 6, 3, seed=0)
+        assert int(g.degrees().max()) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            labeled_grid(1, 5, 3)
+
+    def test_patch_coherence(self):
+        """With zero noise, each patch is monochromatic internally."""
+        g = labeled_grid(8, 8, 4, patch_size=4, noise=0.0, seed=3)
+        # Edges fully inside the first 4x4 patch share one label.
+        labels = set()
+        for x in range(3):
+            for y in range(3):
+                u = x * 8 + y
+                for v, label in g.iter_neighbors(u):
+                    vx, vy = divmod(v, 8)
+                    if vx < 4 and vy < 4 and (x < 3 and y < 3):
+                        labels.add(label)
+        assert len(labels) == 1

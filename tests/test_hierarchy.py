@@ -1,0 +1,123 @@
+"""Tests for label hierarchies (footnote 2 support)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.hierarchy import LabelHierarchy
+from repro.graph.traversal import bidirectional_constrained_bfs
+
+
+@pytest.fixture
+def social_graph():
+    builder = GraphBuilder()
+    builder.add_edge("a", "b", "friend")
+    builder.add_edge("b", "c", "family")
+    builder.add_edge("c", "d", "colleague")
+    builder.add_edge("a", "d", "follows")
+    return builder.build()
+
+
+@pytest.fixture
+def hierarchy():
+    return LabelHierarchy({
+        "friend": "social",
+        "family": "social",
+        "colleague": "work",
+        "follows": "work",
+        "social": "any",
+        "work": "any",
+    })
+
+
+class TestStructure:
+    def test_roots_and_leaves(self, hierarchy):
+        assert hierarchy.roots() == ["any"]
+        assert hierarchy.is_leaf("friend")
+        assert not hierarchy.is_leaf("social")
+
+    def test_leaves_under(self, hierarchy):
+        assert hierarchy.leaves_under("social") == {"friend", "family"}
+        assert hierarchy.leaves_under("any") == {
+            "friend", "family", "colleague", "follows"
+        }
+        assert hierarchy.leaves_under("friend") == {"friend"}
+
+    def test_unknown_node(self, hierarchy):
+        with pytest.raises(KeyError):
+            hierarchy.leaves_under("nonsense")
+
+    def test_parent(self, hierarchy):
+        assert hierarchy.parent("friend") == "social"
+        assert hierarchy.parent("any") is None
+
+    def test_ancestor_at_depth(self, hierarchy):
+        assert hierarchy.ancestor_at_depth("friend", 0) == "any"
+        assert hierarchy.ancestor_at_depth("friend", 1) == "social"
+        assert hierarchy.ancestor_at_depth("friend", 2) == "friend"
+        assert hierarchy.ancestor_at_depth("friend", 99) == "friend"
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            LabelHierarchy({"a": "b", "b": "a"})
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError, match="own parent"):
+            LabelHierarchy({"a": "a"})
+
+
+class TestGraphIntegration:
+    def test_mask_expansion(self, social_graph, hierarchy):
+        mask = hierarchy.mask(social_graph, ["social"])
+        assert mask == social_graph.mask(["friend", "family"])
+
+    def test_category_query(self, social_graph, hierarchy):
+        a = 0
+        d = 3
+        social_mask = hierarchy.mask(social_graph, ["social"])
+        work_mask = hierarchy.mask(social_graph, ["work"])
+        # a -> d via work edges: direct "follows" edge
+        assert bidirectional_constrained_bfs(social_graph, a, d, work_mask) == 1
+        # a -> d via social edges: no path (social covers only a-b-c)
+        assert math.isinf(
+            bidirectional_constrained_bfs(social_graph, a, d, social_mask)
+        )
+
+    def test_mask_ignores_unused_leaves(self, social_graph):
+        hierarchy = LabelHierarchy({"friend": "social", "enemy": "social"})
+        mask = hierarchy.mask(social_graph, ["social"])
+        assert mask == social_graph.mask(["friend"])
+
+    def test_plain_leaf_passthrough(self, social_graph, hierarchy):
+        assert hierarchy.mask(social_graph, ["friend"]) == social_graph.mask(
+            ["friend"]
+        )
+
+    def test_collapse_depth1(self, social_graph, hierarchy):
+        collapsed = hierarchy.collapse(social_graph, depth=1)
+        assert collapsed.num_labels == 2
+        assert set(collapsed.label_universe.names) == {"social", "work"}
+        # distances under a category match leaf-expansion on the original
+        social_new = collapsed.mask(["social"])
+        social_old = hierarchy.mask(social_graph, ["social"])
+        for s in range(4):
+            for t in range(4):
+                assert bidirectional_constrained_bfs(
+                    collapsed, s, t, social_new
+                ) == bidirectional_constrained_bfs(social_graph, s, t, social_old)
+
+    def test_collapse_depth0_single_label(self, social_graph, hierarchy):
+        collapsed = hierarchy.collapse(social_graph, depth=0)
+        assert collapsed.num_labels == 1
+        assert collapsed.label_universe.names == ["any"]
+
+    def test_requires_label_universe(self, hierarchy):
+        from repro.graph.labeled_graph import EdgeLabeledGraph
+        g = EdgeLabeledGraph.from_edges(2, [(0, 1, 0)], num_labels=1)
+        with pytest.raises(ValueError, match="universe"):
+            hierarchy.mask(g, ["social"])
+        with pytest.raises(ValueError, match="universe"):
+            hierarchy.collapse(g)

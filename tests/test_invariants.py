@@ -1,0 +1,139 @@
+"""Cross-cutting metamorphic invariants, property-tested with hypothesis.
+
+These tests relate *different* components to each other under graph and
+query perturbations — the kind of bug (an index silently under- or
+over-pruning) that per-module unit tests cannot catch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chromland import ChromLandIndex
+from repro.core.powcov import PowCovIndex
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import full_mask
+from repro.graph.traversal import UNREACHABLE, constrained_bfs
+
+
+@st.composite
+def graph_and_query(draw):
+    n = draw(st.integers(12, 40))
+    m = draw(st.integers(15, 90))
+    labels = draw(st.integers(2, 4))
+    seed = draw(st.integers(0, 10_000))
+    graph = labeled_erdos_renyi(n, m, num_labels=labels, seed=seed)
+    s = draw(st.integers(0, n - 1))
+    t = draw(st.integers(0, n - 1))
+    mask = draw(st.integers(1, full_mask(labels)))
+    return graph, s, t, mask
+
+
+class TestDistanceInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_and_query())
+    def test_symmetry_undirected(self, data):
+        graph, s, t, mask = data
+        a = constrained_bfs(graph, s, mask)[t]
+        b = constrained_bfs(graph, t, mask)[s]
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_and_query(), st.integers(0, 3))
+    def test_growing_constraint_never_hurts(self, data, extra_label):
+        graph, s, t, mask = data
+        bigger = mask | (1 << (extra_label % graph.num_labels))
+        d_small = constrained_bfs(graph, s, mask)[t]
+        d_big = constrained_bfs(graph, s, bigger)[t]
+        small = math.inf if d_small == UNREACHABLE else d_small
+        big = math.inf if d_big == UNREACHABLE else d_big
+        assert big <= small
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_and_query())
+    def test_adding_edge_never_increases_distance(self, data):
+        graph, s, t, mask = data
+        before = constrained_bfs(graph, s, mask)
+        # add one new edge with a label inside the constraint
+        label = next(
+            l for l in range(graph.num_labels) if mask & (1 << l)
+        )
+        edges = list(graph.iter_edges())
+        u, v = 0, graph.num_vertices - 1
+        if u != v:
+            edges.append((u, v, label))
+        bigger = EdgeLabeledGraph.from_edges(
+            graph.num_vertices, edges, num_labels=graph.num_labels
+        )
+        after = constrained_bfs(bigger, s, mask)
+        before_inf = np.where(before == UNREACHABLE, 10**6, before)
+        after_inf = np.where(after == UNREACHABLE, 10**6, after)
+        assert (after_inf <= before_inf).all()
+
+
+class TestIndexInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(graph_and_query())
+    def test_powcov_estimate_monotone_in_constraint(self, data):
+        graph, s, t, mask = data
+        index = PowCovIndex(graph, [0, graph.num_vertices // 2]).build()
+        for label in range(graph.num_labels):
+            bigger = mask | (1 << label)
+            assert index.query(s, t, bigger) <= index.query(s, t, mask)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph_and_query())
+    def test_more_landmarks_never_hurt_powcov(self, data):
+        graph, s, t, mask = data
+        few = PowCovIndex(graph, [0, 5]).build()
+        more = PowCovIndex(graph, [0, 5, 10, graph.num_vertices - 1]).build()
+        assert more.query(s, t, mask) <= few.query(s, t, mask)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph_and_query())
+    def test_chromland_aux_at_most_simple(self, data):
+        graph, s, t, mask = data
+        landmarks = [0, 5, 10]
+        colors = [i % graph.num_labels for i in range(3)]
+        aux = ChromLandIndex(graph, landmarks, colors).build()
+        simple = ChromLandIndex(
+            graph, landmarks, colors, query_mode="simple"
+        ).build()
+        assert aux.query(s, t, mask) <= simple.query(s, t, mask)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph_and_query())
+    def test_powcov_at_least_exact(self, data):
+        graph, s, t, mask = data
+        index = PowCovIndex(graph, [1, 7, 11]).build()
+        exact = constrained_bfs(graph, s, mask)[t]
+        exact = math.inf if exact == UNREACHABLE else float(exact)
+        estimate = index.query(s, t, mask)
+        if math.isinf(exact):
+            assert math.isinf(estimate)
+        else:
+            assert estimate >= exact
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph_and_query())
+    def test_relabeling_permutation_equivariance(self, data):
+        """Permuting label ids permutes queries but not distances."""
+        graph, s, t, mask = data
+        L = graph.num_labels
+        perm = list(range(1, L)) + [0]  # rotate labels
+        edges = [(u, v, perm[label]) for u, v, label in graph.iter_edges()]
+        permuted = EdgeLabeledGraph.from_edges(
+            graph.num_vertices, edges, num_labels=L
+        )
+        permuted_mask = 0
+        for label in range(L):
+            if mask & (1 << label):
+                permuted_mask |= 1 << perm[label]
+        a = constrained_bfs(graph, s, mask)[t]
+        b = constrained_bfs(permuted, s, permuted_mask)[t]
+        assert a == b

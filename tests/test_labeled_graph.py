@@ -1,0 +1,175 @@
+"""Tests for the CSR edge-labeled graph type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import LabelUniverse
+
+
+def simple_graph() -> EdgeLabeledGraph:
+    return EdgeLabeledGraph.from_edges(
+        4, [(0, 1, 0), (1, 2, 1), (2, 3, 0), (0, 3, 2)], num_labels=3
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = simple_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.num_arcs == 8  # undirected: two arcs per edge
+        assert g.num_labels == 3
+
+    def test_directed_counts(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0), (1, 2, 0)], directed=True)
+        assert g.num_arcs == 2
+        assert g.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            EdgeLabeledGraph.from_edges(2, [(1, 1, 0)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            EdgeLabeledGraph.from_edges(2, [(0, 5, 0)])
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError, match="negative label"):
+            EdgeLabeledGraph.from_edges(2, [(0, 1, -1)])
+
+    def test_num_labels_inferred(self):
+        g = EdgeLabeledGraph.from_edges(2, [(0, 1, 4)])
+        assert g.num_labels == 5
+
+    def test_zero_labels_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeLabeledGraph(
+                np.array([0, 0]), np.array([], dtype=np.int32),
+                np.array([], dtype=np.int16), num_labels=0,
+            )
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            EdgeLabeledGraph.from_edges(2, [(0, 1, 3)], num_labels=2)
+
+    def test_isolated_vertices_allowed(self):
+        g = EdgeLabeledGraph.from_edges(5, [(0, 1, 0)], num_labels=1)
+        assert g.degree(4) == 0
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = simple_graph()
+        assert g.degree(0) == 2
+        assert g.degrees().tolist() == [2, 2, 2, 2]
+
+    def test_neighbors_and_labels(self):
+        g = simple_graph()
+        pairs = sorted(zip(g.neighbors_of(0).tolist(), g.labels_of(0).tolist()))
+        assert pairs == [(1, 0), (3, 2)]
+
+    def test_iter_neighbors(self):
+        g = simple_graph()
+        assert sorted(g.iter_neighbors(2)) == [(1, 1), (3, 0)]
+
+    def test_iter_edges_each_once(self):
+        g = simple_graph()
+        edges = sorted(g.iter_edges())
+        assert edges == [(0, 1, 0), (0, 3, 2), (1, 2, 1), (2, 3, 0)]
+
+    def test_edge_label(self):
+        g = simple_graph()
+        assert g.edge_label(0, 3) == 2
+        assert g.edge_label(3, 0) == 2
+        assert g.edge_label(0, 2) is None
+
+    def test_has_edge(self):
+        g = simple_graph()
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(1, 3)
+
+    def test_label_frequencies(self):
+        g = simple_graph()
+        assert g.label_frequencies().tolist() == [2, 1, 1]
+
+    def test_incident_label_mask(self):
+        g = simple_graph()
+        assert g.incident_label_mask(0) == 0b101  # labels 0 and 2
+        assert g.incident_label_mask(1) == 0b011
+
+    def test_incident_label_masks_directed_includes_in_arcs(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0), (1, 2, 1)], directed=True)
+        assert g.incident_label_mask(2) == 0b10
+
+    def test_mask_with_universe(self):
+        universe = LabelUniverse(["r", "g", "b"])
+        g = EdgeLabeledGraph.from_edges(
+            2, [(0, 1, 0)], num_labels=3, label_universe=universe
+        )
+        assert g.mask(["r", "b"]) == 5
+        assert g.mask([0, 2]) == 5
+        assert g.mask([]) == 0
+
+
+class TestDerivedGraphs:
+    def test_subgraph_by_mask(self):
+        g = simple_graph()
+        sub = g.subgraph_by_mask(0b001)  # keep label 0 only
+        assert sub.num_edges == 2
+        assert sorted(sub.iter_edges()) == [(0, 1, 0), (2, 3, 0)]
+        assert sub.num_vertices == g.num_vertices  # vertex space preserved
+
+    def test_subgraph_full_mask_is_identity(self):
+        g = simple_graph()
+        sub = g.subgraph_by_mask(0b111)
+        assert sub == g
+
+    def test_subgraph_empty_mask(self):
+        g = simple_graph()
+        sub = g.subgraph_by_mask(0)
+        assert sub.num_edges == 0
+
+    def test_reversed_undirected_is_self(self):
+        g = simple_graph()
+        assert g.reversed() is g
+
+    def test_reversed_directed(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0), (1, 2, 1)], directed=True)
+        r = g.reversed()
+        assert sorted(r.iter_edges()) == [(1, 0, 0), (2, 1, 1)]
+        assert r.num_edges == 2
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert simple_graph() == simple_graph()
+
+    def test_unequal_graphs(self):
+        g1 = simple_graph()
+        g2 = EdgeLabeledGraph.from_edges(4, [(0, 1, 0)], num_labels=3)
+        assert g1 != g2
+
+    def test_not_equal_to_other_types(self):
+        assert simple_graph().__eq__(42) is NotImplemented
+
+    def test_repr(self):
+        assert "n=4" in repr(simple_graph())
+
+
+class TestMalformedCSR:
+    def test_bad_indptr(self):
+        with pytest.raises(ValueError, match="indptr"):
+            EdgeLabeledGraph(
+                np.array([1, 2]), np.array([0], dtype=np.int32),
+                np.array([0], dtype=np.int16), num_labels=1,
+            )
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="parallel"):
+            EdgeLabeledGraph(
+                np.array([0, 1]), np.array([0], dtype=np.int32),
+                np.array([], dtype=np.int16), num_labels=1,
+            )

@@ -1,0 +1,171 @@
+"""Unit + property tests for the bitmask label-set algebra."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.labelsets import (
+    EMPTY,
+    LabelUniverse,
+    full_mask,
+    is_proper_subset,
+    is_subset,
+    iter_all_masks,
+    iter_masks_of_size,
+    iter_one_added,
+    iter_one_removed,
+    iter_submasks,
+    labels_from_mask,
+    mask_from_labels,
+    mask_to_str,
+    popcount,
+    singleton_masks,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+class TestMaskConversion:
+    def test_empty(self):
+        assert mask_from_labels([]) == EMPTY
+        assert labels_from_mask(EMPTY) == []
+
+    def test_roundtrip_example(self):
+        assert mask_from_labels([0, 2]) == 5
+        assert labels_from_mask(5) == [0, 2]
+
+    def test_duplicates_collapse(self):
+        assert mask_from_labels([1, 1, 1]) == 2
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError):
+            mask_from_labels([-1])
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            labels_from_mask(-3)
+
+    @given(st.sets(st.integers(min_value=0, max_value=20)))
+    def test_roundtrip_property(self, labels):
+        assert labels_from_mask(mask_from_labels(labels)) == sorted(labels)
+
+
+class TestPopcountAndFullMask:
+    @given(masks)
+    def test_popcount_matches_bin(self, mask):
+        assert popcount(mask) == bin(mask).count("1")
+
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (3, 7), (8, 255)])
+    def test_full_mask_values(self, n, expected):
+        assert full_mask(n) == expected
+
+    def test_full_mask_negative(self):
+        with pytest.raises(ValueError):
+            full_mask(-1)
+
+    def test_singletons(self):
+        assert singleton_masks(3) == [1, 2, 4]
+
+
+class TestSubsetPredicates:
+    @given(masks, masks)
+    def test_is_subset_matches_sets(self, a, b):
+        set_a, set_b = set(labels_from_mask(a)), set(labels_from_mask(b))
+        assert is_subset(a, b) == set_a.issubset(set_b)
+
+    @given(masks, masks)
+    def test_proper_subset(self, a, b):
+        set_a, set_b = set(labels_from_mask(a)), set(labels_from_mask(b))
+        assert is_proper_subset(a, b) == (set_a < set_b)
+
+    def test_empty_is_subset_of_everything(self):
+        assert is_subset(0, 0) and is_subset(0, 7)
+        assert not is_proper_subset(0, 0)
+
+
+class TestEnumeration:
+    @given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+    def test_submask_count(self, mask):
+        subs = list(iter_submasks(mask))
+        assert len(subs) == 1 << popcount(mask)
+        assert len(set(subs)) == len(subs)
+        assert all(is_subset(s, mask) for s in subs)
+
+    @given(st.integers(min_value=1, max_value=(1 << 10) - 1))
+    def test_one_removed(self, mask):
+        outs = list(iter_one_removed(mask))
+        assert len(outs) == popcount(mask)
+        for out in outs:
+            assert popcount(out) == popcount(mask) - 1
+            assert is_proper_subset(out, mask)
+
+    @given(st.integers(min_value=0, max_value=(1 << 8) - 1))
+    def test_one_added(self, mask):
+        outs = list(iter_one_added(mask, 8))
+        assert len(outs) == 8 - popcount(mask)
+        for out in outs:
+            assert popcount(out) == popcount(mask) + 1
+            assert is_subset(mask, out)
+
+    @pytest.mark.parametrize("size,num_labels", [(0, 5), (1, 5), (3, 5), (5, 5)])
+    def test_masks_of_size(self, size, num_labels):
+        got = sorted(iter_masks_of_size(size, num_labels))
+        expected = sorted(
+            mask_from_labels(combo)
+            for combo in itertools.combinations(range(num_labels), size)
+        )
+        assert got == expected
+
+    def test_masks_of_size_too_big(self):
+        assert list(iter_masks_of_size(4, 3)) == []
+
+    def test_masks_of_size_validation(self):
+        with pytest.raises(ValueError):
+            list(iter_masks_of_size(-1, 3))
+
+    def test_iter_all_masks(self):
+        assert list(iter_all_masks(3)) == list(range(1, 8))
+        assert list(iter_all_masks(3, include_empty=True)) == list(range(8))
+
+
+class TestRendering:
+    def test_mask_to_str_ids(self):
+        assert mask_to_str(5) == "{0,2}"
+
+    def test_mask_to_str_names(self):
+        assert mask_to_str(5, ["r", "g", "b"]) == "{r,b}"
+
+    def test_empty_render(self):
+        assert mask_to_str(0) == "{}"
+
+
+class TestLabelUniverse:
+    def test_basic(self):
+        universe = LabelUniverse(["red", "green", "blue"])
+        assert len(universe) == 3
+        assert universe.mask(["red", "blue"]) == 5
+        assert universe.names_from_mask(5) == ["red", "blue"]
+        assert universe.full_mask() == 7
+
+    def test_add_idempotent(self):
+        universe = LabelUniverse([])
+        assert universe.add("x") == 0
+        assert universe.add("x") == 0
+        assert universe.add("y") == 1
+
+    def test_lookup(self):
+        universe = LabelUniverse(["a", "b"])
+        assert universe.id("b") == 1
+        assert universe.name(0) == "a"
+        assert "a" in universe
+        assert "z" not in universe
+        with pytest.raises(KeyError):
+            universe.id("z")
+
+    def test_iteration_order(self):
+        universe = LabelUniverse(["c", "a", "b"])
+        assert list(universe) == ["c", "a", "b"]
+        assert universe.names == ["c", "a", "b"]

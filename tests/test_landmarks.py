@@ -1,0 +1,160 @@
+"""Tests for landmark-selection strategies and vertex-cover machinery."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.landmarks import (
+    STRATEGIES,
+    approximate_betweenness,
+    covered_edges,
+    exact_min_vertex_cover,
+    greedy_max_cover,
+    is_vertex_cover,
+    select_landmarks,
+    two_approx_vertex_cover,
+)
+
+
+def star_graph(leaves: int = 6) -> EdgeLabeledGraph:
+    return EdgeLabeledGraph.from_edges(
+        leaves + 1, [(0, i, 0) for i in range(1, leaves + 1)], num_labels=1
+    )
+
+
+class TestGreedyMVC:
+    def test_star_picks_center_first(self):
+        assert greedy_max_cover(star_graph(), 1) == [0]
+
+    def test_covers_everything_with_enough_budget(self, random_graph):
+        cover = greedy_max_cover(random_graph, random_graph.num_vertices)
+        assert is_vertex_cover(random_graph, cover)
+
+    def test_distinct_and_sized(self, random_graph):
+        picked = greedy_max_cover(random_graph, 12)
+        assert len(picked) == 12
+        assert len(set(picked)) == 12
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ValueError):
+            greedy_max_cover(random_graph, 0)
+
+    def test_greedy_guarantee_vs_exact(self):
+        """Greedy covers >= (1 - 1/e) of the optimum (Theorem 4)."""
+        for seed in range(4):
+            g = labeled_erdos_renyi(10, 18, num_labels=2, seed=seed)
+            for k in (1, 2, 3):
+                greedy = covered_edges(g, greedy_max_cover(g, k))
+                best = max(
+                    covered_edges(g, list(combo))
+                    for combo in itertools.combinations(range(10), k)
+                )
+                assert greedy >= (1 - 1 / np.e) * best
+
+    def test_marginal_gains_monotone(self):
+        """Each greedy pick covers no more new edges than the previous."""
+        g = labeled_erdos_renyi(40, 120, num_labels=3, seed=2)
+        picked = greedy_max_cover(g, 10)
+        gains = []
+        seen: list[int] = []
+        prev = 0
+        for v in picked:
+            seen.append(v)
+            now = covered_edges(g, seen)
+            gains.append(now - prev)
+            prev = now
+        assert all(a >= b for a, b in zip(gains, gains[1:]))
+
+
+class TestVertexCover:
+    def test_two_approx_is_cover(self, random_graph):
+        cover = two_approx_vertex_cover(random_graph, seed=0)
+        assert is_vertex_cover(random_graph, cover)
+
+    def test_two_approx_factor(self):
+        for seed in range(3):
+            g = labeled_erdos_renyi(12, 20, num_labels=2, seed=seed)
+            approx = two_approx_vertex_cover(g, seed=seed)
+            exact = exact_min_vertex_cover(g)
+            assert len(approx) <= 2 * len(exact)
+
+    def test_exact_cover_on_star(self):
+        assert exact_min_vertex_cover(star_graph(5)) == [0]
+
+    def test_exact_cover_guard(self, random_graph):
+        with pytest.raises(ValueError):
+            exact_min_vertex_cover(random_graph)
+
+    def test_is_vertex_cover_negative(self):
+        g = star_graph(3)
+        assert not is_vertex_cover(g, [1])
+        assert is_vertex_cover(g, [0])
+
+
+class TestBetweenness:
+    def test_matches_networkx_on_small_graph(self):
+        # num_labels=1 keeps the generator free of parallel multi-label
+        # edges, which networkx's simple Graph would collapse while our
+        # Brandes sweep counts them as distinct shortest paths.
+        g = labeled_erdos_renyi(25, 60, num_labels=1, seed=4)
+        ours = approximate_betweenness(g, num_samples=25, seed=0)  # all sources
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(25))
+        for u, v, _ in g.iter_edges():
+            nxg.add_edge(u, v)
+        theirs = nx.betweenness_centrality(nxg, normalized=False)
+        # Exhaustive sampling: ours * n == 2 * nx value (nx halves undirected
+        # pair contributions).
+        for v in range(25):
+            assert ours[v] * 25 == pytest.approx(2 * theirs[v], abs=1e-6)
+
+    def test_path_center_has_max_betweenness(self):
+        from conftest import make_line
+        g = make_line([0] * 6, num_labels=1)
+        scores = approximate_betweenness(g, num_samples=7, seed=0)
+        assert scores.argmax() == 3
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ValueError):
+            approximate_betweenness(random_graph, num_samples=0)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_returns_k_distinct(self, random_graph, strategy):
+        picked = select_landmarks(random_graph, 9, strategy=strategy, seed=3)
+        assert len(picked) == 9
+        assert len(set(picked)) == 9
+        assert all(0 <= v < random_graph.num_vertices for v in picked)
+
+    def test_degree_strategy_ranks_by_degree(self, random_graph):
+        picked = select_landmarks(random_graph, 5, strategy="degree")
+        degrees = random_graph.degrees()
+        worst_picked = min(degrees[v] for v in picked)
+        not_picked = [v for v in range(random_graph.num_vertices) if v not in picked]
+        assert worst_picked >= max(degrees[v] for v in not_picked)
+
+    def test_unknown_strategy(self, random_graph):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            select_landmarks(random_graph, 3, strategy="astrology")
+
+    def test_k_validation(self, random_graph):
+        with pytest.raises(ValueError):
+            select_landmarks(random_graph, 0)
+
+    def test_random_is_seeded(self, random_graph):
+        a = select_landmarks(random_graph, 7, strategy="random", seed=5)
+        b = select_landmarks(random_graph, 7, strategy="random", seed=5)
+        assert a == b
+
+    def test_cover_strategy_pads_small_covers(self):
+        g = star_graph(8)  # cover is {0}; k=3 must be padded
+        picked = select_landmarks(g, 3, strategy="vertex-cover-degree")
+        assert len(picked) == 3
+        assert 0 in picked

@@ -1,0 +1,75 @@
+"""Tests for the multi-label-edge generalization (Section 2 remark).
+
+The paper notes that edges carrying several labels are handled by modeling
+a multi-labeled edge as parallel edges, one per label — then a path may use
+the edge iff *at least one* of its labels is in ``C`` ("any" semantics).
+The builder keeps parallel edges with distinct labels, so the whole stack
+(traversal, PowCov, ChromLand) supports this without modification; these
+tests pin that behaviour down.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.powcov import PowCovIndex, brute_force_sp_minimal
+from repro.graph.builder import GraphBuilder
+from repro.graph.traversal import bidirectional_constrained_bfs
+
+
+@pytest.fixture
+def multilabel_graph():
+    """a -[r+g]- b -[b]- c : edge (a,b) carries labels r AND g."""
+    builder = GraphBuilder()
+    builder.add_edge("a", "b", "r")
+    builder.add_edge("a", "b", "g")
+    builder.add_edge("b", "c", "b")
+    return builder.build()
+
+
+class TestAnySemantics:
+    def test_either_label_works(self, multilabel_graph):
+        g = multilabel_graph
+        assert bidirectional_constrained_bfs(g, 0, 1, g.mask(["r"])) == 1
+        assert bidirectional_constrained_bfs(g, 0, 1, g.mask(["g"])) == 1
+        assert bidirectional_constrained_bfs(g, 0, 1, g.mask(["r", "g"])) == 1
+
+    def test_wrong_label_blocked(self, multilabel_graph):
+        g = multilabel_graph
+        assert math.isinf(bidirectional_constrained_bfs(g, 0, 1, g.mask(["b"])))
+
+    def test_two_hop(self, multilabel_graph):
+        g = multilabel_graph
+        assert bidirectional_constrained_bfs(g, 0, 2, g.mask(["g", "b"])) == 2
+        assert math.isinf(
+            bidirectional_constrained_bfs(g, 0, 2, g.mask(["r", "g"]))
+        )
+
+
+class TestIndexesOnMultilabel:
+    def test_spminimal_sees_both_singletons(self, multilabel_graph):
+        g = multilabel_graph
+        result = brute_force_sp_minimal(g, 0)
+        # Both {r} and {g} are SP-minimal singletons for (a, b).
+        masks = {mask for _d, mask in result.entries[1]}
+        assert g.mask(["r"]) in masks
+        assert g.mask(["g"]) in masks
+
+    def test_powcov_exact_with_cover(self, multilabel_graph):
+        g = multilabel_graph
+        index = PowCovIndex(g, [1]).build()  # vertex b covers all edges
+        for mask in range(1, 8):
+            exact = bidirectional_constrained_bfs(g, 0, 2, mask)
+            assert index.query(0, 2, mask) == exact
+
+    def test_all_semantics_via_intersection_mask(self):
+        """'All labels must be in C' is modeled by a single fused label."""
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", "r+g")  # fused label for the AND case
+        builder.add_edge("b", "c", "r")
+        g = builder.build()
+        # The fused edge is usable only when its fused label is allowed.
+        assert bidirectional_constrained_bfs(g, 0, 1, g.mask(["r+g"])) == 1
+        assert math.isinf(bidirectional_constrained_bfs(g, 0, 1, g.mask(["r"])))

@@ -1,0 +1,90 @@
+"""Tests for the naive powerset index."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.naive import NaivePowersetIndex
+from repro.core.powcov import PowCovIndex
+from repro.graph.generators import labeled_erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = labeled_erdos_renyi(40, 100, num_labels=3, seed=13)
+    landmarks = [0, 10, 20, 30]
+    naive = NaivePowersetIndex(graph, landmarks).build()
+    powcov = PowCovIndex(graph, landmarks).build()
+    return graph, landmarks, naive, powcov
+
+
+class TestConstruction:
+    def test_too_many_labels_refused(self):
+        graph = labeled_erdos_renyi(10, 20, num_labels=4, seed=0)
+        graph.num_labels = 20  # simulate a wide-label graph
+        with pytest.raises(ValueError, match="exponential"):
+            NaivePowersetIndex(graph, [0])
+
+    def test_duplicates_rejected(self):
+        graph = labeled_erdos_renyi(10, 20, num_labels=3, seed=0)
+        with pytest.raises(ValueError, match="distinct"):
+            NaivePowersetIndex(graph, [0, 0])
+
+    def test_query_before_build(self):
+        graph = labeled_erdos_renyi(10, 20, num_labels=3, seed=0)
+        index = NaivePowersetIndex(graph, [0])
+        with pytest.raises(RuntimeError):
+            index.query(0, 1, 1)
+
+
+class TestEquivalenceWithPowCov:
+    """Both indexes use exact landmark distances + triangle inequality,
+    so they must agree on every query — the key Table 2 sanity check."""
+
+    def test_all_queries_agree(self, setup):
+        graph, _, naive, powcov = setup
+        for s in range(0, graph.num_vertices, 4):
+            for t in range(1, graph.num_vertices, 5):
+                for mask in range(1, 1 << graph.num_labels):
+                    a = naive.query_answer(s, t, mask)
+                    b = powcov.query_answer(s, t, mask)
+                    assert a.estimate == b.estimate, (s, t, mask)
+                    assert a.lower == b.lower, (s, t, mask)
+
+    def test_same_vertex_and_empty_mask(self, setup):
+        _, _, naive, _ = setup
+        assert naive.query(3, 3, 5) == 0.0
+        assert math.isinf(naive.query(0, 1, 0))
+
+
+class TestSizeAccounting:
+    def test_exponential_footprint(self, setup):
+        graph, landmarks, naive, powcov = setup
+        # The naive index must store at least 2^{|L|-1} distances per
+        # reachable pair (the introduction's lower bound) when the graph's
+        # big component is connected under most label subsets.
+        assert naive.average_entries_per_pair() > powcov.average_entries_per_pair()
+
+    def test_counts_shape(self, setup):
+        graph, landmarks, naive, _ = setup
+        counts = naive.finite_counts_per_vertex()
+        assert counts.shape == (len(landmarks), graph.num_vertices)
+        # Landmarks never count themselves.
+        for i, x in enumerate(landmarks):
+            assert counts[i, x] == 0
+        assert naive.index_size_entries() == int(counts.sum())
+
+    def test_per_pair_counts_match_direct_bfs(self, setup):
+        graph, landmarks, naive, _ = setup
+        from repro.graph.traversal import UNREACHABLE, constrained_bfs
+
+        counts = naive.finite_counts_per_vertex()
+        x = landmarks[1]
+        u = 7
+        expected = 0
+        for mask in range(1, 1 << graph.num_labels):
+            if constrained_bfs(graph, x, mask)[u] != UNREACHABLE:
+                expected += 1
+        assert counts[1, u] == expected

@@ -1,0 +1,85 @@
+"""Tests for the top-k nearest-neighbor helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import ExactOracle
+from repro.core.nearest import constrained_nearest, rank_candidates
+from repro.core.powcov import PowCovIndex
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.traversal import UNREACHABLE, constrained_bfs
+
+from conftest import make_line
+
+
+class TestConstrainedNearest:
+    def test_line_graph(self):
+        g = make_line([0, 0, 0, 0], num_labels=1)
+        nearest = constrained_nearest(g, 0, k=2)
+        assert nearest == [(1, 1), (2, 2)]
+
+    def test_respects_constraint(self):
+        g = make_line([0, 1, 0], num_labels=2)
+        nearest = constrained_nearest(g, 0, label_mask=0b01, k=5)
+        assert nearest == [(1, 1)]  # label 1 blocks the rest
+
+    def test_ties_at_cutoff_kept(self):
+        # star: all leaves at distance 1; k=2 must return all 4 ties
+        from repro.graph.labeled_graph import EdgeLabeledGraph
+        g = EdgeLabeledGraph.from_edges(
+            5, [(0, i, 0) for i in range(1, 5)], num_labels=1
+        )
+        nearest = constrained_nearest(g, 0, k=2)
+        assert len(nearest) == 4
+        assert all(d == 1 for _, d in nearest)
+
+    def test_matches_full_bfs(self, random_graph):
+        mask = 0b0111
+        nearest = constrained_nearest(random_graph, 3, label_mask=mask, k=12)
+        dist = constrained_bfs(random_graph, 3, mask)
+        cutoff = nearest[-1][1]
+        expected = sorted(
+            (int(d), v) for v, d in enumerate(dist)
+            if 0 < d <= cutoff and d != UNREACHABLE
+        )
+        assert [(v, d) for d, v in expected] == nearest
+
+    def test_include_source(self, random_graph):
+        nearest = constrained_nearest(random_graph, 0, k=3, include_source=True)
+        assert nearest[0] == (0, 0)
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ValueError):
+            constrained_nearest(random_graph, 0, k=0)
+
+
+class TestRankCandidates:
+    def test_exact_ranking(self, random_graph):
+        oracle = ExactOracle(random_graph)
+        candidates = list(range(1, 30))
+        ranking = rank_candidates(oracle, 0, candidates, 0b1111, k=5)
+        assert len(ranking) <= 5
+        distances = [d for _, d in ranking]
+        assert distances == sorted(distances)
+
+    def test_source_excluded(self, random_graph):
+        oracle = ExactOracle(random_graph)
+        ranking = rank_candidates(oracle, 0, [0, 1, 2], 0b1111)
+        assert all(c != 0 for c, _ in ranking)
+
+    def test_index_ranking_close_to_exact(self, random_graph):
+        exact = ExactOracle(random_graph)
+        index = PowCovIndex(
+            random_graph, list(range(0, 60, 6))
+        ).build()
+        candidates = list(range(1, 59))
+        truth = {c for c, _ in rank_candidates(exact, 0, candidates, 0b11, k=10)}
+        approx = {c for c, _ in rank_candidates(index, 0, candidates, 0b11, k=10)}
+        assert len(truth & approx) >= 5  # substantial top-10 overlap
+
+    def test_unreachable_dropped(self):
+        g = make_line([0, 1], num_labels=2)
+        oracle = ExactOracle(g)
+        ranking = rank_candidates(oracle, 0, [1, 2], 0b01)
+        assert ranking == [(1, 1.0)]

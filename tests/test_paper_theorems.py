@@ -1,0 +1,130 @@
+"""Direct checks of the paper's formal claims on exhaustively-searched graphs."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.chromland import ChromLandIndex
+from repro.core.powcov import PowCovIndex, brute_force_sp_minimal
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labelsets import popcount
+from repro.landmarks import is_vertex_cover
+
+from conftest import all_pairs_all_masks
+
+
+def powcov_exact_on_all_queries(graph, landmarks) -> bool:
+    index = PowCovIndex(graph, list(landmarks)).build()
+    for s, t, mask, exact in all_pairs_all_masks(graph):
+        if s == t:
+            continue
+        estimate = index.query(s, t, mask)
+        if math.isinf(exact) != math.isinf(estimate):
+            return False
+        if not math.isinf(exact) and estimate != exact:
+            return False
+    return True
+
+
+class TestTheorem3VertexCover:
+    """PowCov is exact on all queries iff the landmarks form a vertex cover."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_both_directions(self, seed):
+        graph = labeled_erdos_renyi(8, 12, num_labels=2, seed=seed)
+        vertices = range(graph.num_vertices)
+        # check all subsets of size 3..5 (keeps the test fast but covers
+        # both cover and non-cover subsets)
+        for size in (3, 4, 5):
+            for subset in itertools.combinations(vertices, size):
+                cover = is_vertex_cover(graph, list(subset))
+                exact = powcov_exact_on_all_queries(graph, subset)
+                assert exact == cover, (seed, subset)
+
+    def test_full_vertex_set_is_exact(self):
+        graph = labeled_erdos_renyi(7, 10, num_labels=2, seed=5)
+        assert powcov_exact_on_all_queries(graph, range(7))
+
+
+class TestProposition1:
+    """H <= sum_{d<=d_max} C(|L|, d); tighter: every stored |C| <= its d."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bound(self, seed):
+        graph = labeled_erdos_renyi(30, 80, num_labels=4, seed=seed)
+        result = brute_force_sp_minimal(graph, 0)
+        d_max = 0
+        for pairs in result.entries.values():
+            for dist, mask in pairs:
+                assert popcount(mask) <= dist
+                d_max = max(d_max, dist)
+        bound = sum(
+            math.comb(graph.num_labels, d)
+            for d in range(1, min(d_max, graph.num_labels) + 1)
+        )
+        h = max(len(p) for p in result.entries.values())
+        assert h <= bound
+
+
+class TestTheorem5Tightness:
+    """The auxiliary-graph bound is the tightest derivable one: it is
+    never looser than any landmark-sequence composition bound."""
+
+    def test_aux_at_most_any_two_landmark_chain(self):
+        graph = labeled_erdos_renyi(40, 140, num_labels=3, seed=8)
+        landmarks = [0, 5, 10, 15, 20, 25]
+        colors = [0, 1, 2, 0, 1, 2]
+        index = ChromLandIndex(graph, landmarks, colors).build()
+        for s in range(0, 40, 7):
+            for t in range(1, 40, 9):
+                for mask in (0b011, 0b101, 0b111):
+                    aux = index.query(s, t, mask)
+                    # any manual chain s -> x -> y -> t must be >= aux bound
+                    for i in range(6):
+                        if not (1 << colors[i]) & mask:
+                            continue
+                        for j in range(6):
+                            if i == j or colors[i] == colors[j]:
+                                continue
+                            if not (1 << colors[j]) & mask:
+                                continue
+                            ds = index.chromatic_distance(i, s)
+                            dxy = index.bi[i, j]
+                            dt = index.chromatic_distance(j, t)
+                            if dxy < 0 or math.isinf(ds) or math.isinf(dt):
+                                continue
+                            assert aux <= ds + float(dxy) + dt
+
+
+class TestObservationSoundness:
+    """Monotonicity (the base fact behind subsumption): growing C never
+    grows the distance; subsumption implies reconstructability."""
+
+    def test_distance_monotone_in_labels(self):
+        graph = labeled_erdos_renyi(30, 90, num_labels=4, seed=3)
+        from repro.graph.traversal import UNREACHABLE, constrained_bfs
+        import numpy as np
+
+        for mask in (0b0001, 0b0011, 0b0111):
+            bigger = mask | 0b1000
+            a = constrained_bfs(graph, 0, mask)
+            b = constrained_bfs(graph, 0, bigger)
+            a = np.where(a == UNREACHABLE, 10**6, a)
+            b = np.where(b == UNREACHABLE, 10**6, b)
+            assert (b <= a).all()
+
+    def test_theorem1_infinite_when_no_subset_stored(self):
+        """d_C = inf iff no stored SP-minimal subset of C exists."""
+        graph = labeled_erdos_renyi(25, 60, num_labels=3, seed=6)
+        from repro.graph.traversal import UNREACHABLE, constrained_bfs
+
+        result = brute_force_sp_minimal(graph, 0)
+        for mask in range(1, 8):
+            dist = constrained_bfs(graph, 0, mask)
+            for u in range(1, graph.num_vertices):
+                stored = result.entries.get(u, [])
+                has_subset = any(m & mask == m for _, m in stored)
+                assert has_subset == (dist[u] != UNREACHABLE), (u, mask)

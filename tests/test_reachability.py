@@ -1,0 +1,115 @@
+"""Tests for the label-constrained reachability layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reachability import (
+    LandmarkReachabilityIndex,
+    exact_reachable,
+    minimal_reachability_sets,
+)
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labelsets import is_subset, iter_submasks
+from repro.graph.traversal import UNREACHABLE, constrained_bfs
+
+from conftest import make_line
+
+
+class TestExactReachable:
+    def test_line(self):
+        g = make_line([0, 1, 0], num_labels=2)
+        assert exact_reachable(g, 0, 3, 0b11)
+        assert not exact_reachable(g, 0, 3, 0b01)
+        assert exact_reachable(g, 0, 1, 0b01)
+        assert exact_reachable(g, 2, 2, 0)  # self-reachability
+
+
+class TestMinimalReachabilitySets:
+    def test_definition_on_random_graphs(self):
+        """C reaches u iff C contains a minimal mask; masks are minimal."""
+        for seed in range(3):
+            g = labeled_erdos_renyi(25, 60, num_labels=3, seed=seed)
+            source = 0
+            minimal = minimal_reachability_sets(g, source)
+            reach = {
+                mask: constrained_bfs(g, source, mask)
+                for mask in range(1, 8)
+            }
+            for u in range(1, g.num_vertices):
+                masks = minimal.get(u, [])
+                for constraint in range(1, 8):
+                    truly = reach[constraint][u] != UNREACHABLE
+                    certified = any(is_subset(m, constraint) for m in masks)
+                    assert certified == truly, (seed, u, constraint)
+                # minimality: removing any label breaks reachability
+                for mask in masks:
+                    for sub in iter_submasks(mask):
+                        if sub in (0, mask):
+                            continue
+                        assert reach[sub][u] == UNREACHABLE, (u, mask, sub)
+
+    def test_line_minimal_sets(self):
+        g = make_line([0, 1, 0], num_labels=2)
+        minimal = minimal_reachability_sets(g, 0)
+        assert minimal[1] == [0b01]
+        assert minimal[2] == [0b11]
+        assert minimal[3] == [0b11]
+
+
+class TestLandmarkReachabilityIndex:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = labeled_erdos_renyi(50, 140, num_labels=3, seed=8)
+        index = LandmarkReachabilityIndex(g, [0, 10, 20, 30, 40]).build()
+        return g, index
+
+    def test_soundness(self, setup):
+        """A certified 'reachable' is always truly reachable."""
+        g, index = setup
+        for s in range(0, 50, 4):
+            for t in range(1, 50, 5):
+                for mask in range(1, 8):
+                    if index.reachable(s, t, mask):
+                        assert exact_reachable(g, s, t, mask), (s, t, mask)
+
+    def test_exact_fallback_is_exact(self, setup):
+        g, index = setup
+        for s in range(0, 50, 6):
+            for t in range(1, 50, 7):
+                for mask in range(1, 8):
+                    assert index.reachable_exact(s, t, mask) == exact_reachable(
+                        g, s, t, mask
+                    )
+
+    def test_landmark_source_definite_negative(self, setup):
+        """From a landmark, the certificate answer is exact, both ways."""
+        g, index = setup
+        s = 10  # a landmark
+        for t in range(1, 50, 3):
+            for mask in range(1, 8):
+                assert index.reachable(s, t, mask) == exact_reachable(
+                    g, s, t, mask
+                )
+
+    def test_certificate_rate(self, setup):
+        g, index = setup
+        queries = [
+            (s, t, 7)
+            for s in range(0, 50, 5)
+            for t in range(1, 50, 5)
+            if s != t and exact_reachable(g, s, t, 7)
+        ]
+        rate = index.certificate_rate(queries)
+        assert 0.5 <= rate <= 1.0  # full-label queries are easy to certify
+
+    def test_query_before_build(self):
+        g = labeled_erdos_renyi(10, 20, num_labels=2, seed=0)
+        index = LandmarkReachabilityIndex(g, [0])
+        with pytest.raises(RuntimeError):
+            index.reachable(0, 1, 1)
+
+    def test_empty_certificate_rate_rejected(self, setup):
+        _, index = setup
+        with pytest.raises(ValueError):
+            index.certificate_rate([])

@@ -1,0 +1,59 @@
+"""Tests for multi-seed experiment repetition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.eval.repetition import MetricSummary, _summarize, repeat_index_run
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        summary = _summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.num_seeds == 3
+
+    def test_single_value(self):
+        summary = _summarize([4.0])
+        assert summary.mean == 4.0
+        assert summary.std == 0.0
+
+    def test_infinite_values_dropped(self):
+        summary = _summarize([1.0, math.inf, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_all_infinite(self):
+        summary = _summarize([math.inf, math.inf])
+        assert math.isinf(summary.mean)
+
+    def test_str(self):
+        assert "±" in str(MetricSummary(1.0, 0.1, 3))
+
+
+class TestRepeatIndexRun:
+    def test_powcov_repetition(self):
+        result = repeat_index_run(
+            "youtube-sim", "powcov", k=5, seeds=(1, 2),
+            scale=0.15, num_pairs=25,
+        )
+        assert result.absolute_error.num_seeds == 2
+        assert result.absolute_error.mean >= 0
+        assert result.exact_percent.mean > 0
+        assert result.speedup.mean > 0
+
+    def test_chromland_repetition(self):
+        result = repeat_index_run(
+            "youtube-sim", "chromland", k=5, seeds=(1, 2),
+            scale=0.15, num_pairs=25, chromland_iterations=30,
+        )
+        assert result.index == "chromland"
+        assert result.relative_error.mean >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="index"):
+            repeat_index_run("youtube-sim", "magic", k=3)
+        with pytest.raises(ValueError, match="seed"):
+            repeat_index_run("youtube-sim", "powcov", k=3, seeds=())

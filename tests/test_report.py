@@ -1,0 +1,124 @@
+"""Tests for the claims-checker report module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import Figure6Series
+from repro.eval.metrics import OracleMetrics
+from repro.eval.report import (
+    check_figure6,
+    check_table2,
+    check_table3,
+    check_table4,
+    render_report,
+)
+from repro.eval.runner import IndexRun
+from repro.eval.tables import Table2Row, Table3Row, Table4Cell
+
+
+def metrics(abs_err=1.0, fn=0.0, qsec=1e-4) -> OracleMetrics:
+    return OracleMetrics(
+        num_queries=100, absolute_error=abs_err, relative_error=abs_err / 5,
+        exact_fraction=0.5, false_negative_fraction=fn, mean_query_seconds=qsec,
+    )
+
+
+def run(abs_err=1.0, fn=0.0, speedup=10.0) -> IndexRun:
+    return IndexRun("x", 10, 1.0, metrics(abs_err, fn), speedup)
+
+
+class TestTable2Checks:
+    def test_all_pass_on_paper_shaped_rows(self):
+        rows = [
+            Table2Row("biogrid-sim", 7, 5.0, 80.0),
+            Table2Row("synthetic-4", 4, 9.0, 13.0),
+            Table2Row("synthetic-6", 6, 24.0, 56.0),
+            Table2Row("synthetic-8", 8, 60.0, 233.0),
+        ]
+        checks = check_table2(rows)
+        assert all(c.passed for c in checks)
+
+    def test_detects_inverted_sizes(self):
+        rows = [Table2Row("biogrid-sim", 7, 90.0, 80.0)]
+        checks = check_table2(rows)
+        t21 = next(c for c in checks if c.claim_id == "T2.1")
+        assert not t21.passed
+
+    def test_detects_non_growing_savings(self):
+        rows = [
+            Table2Row("synthetic-4", 4, 5.0, 50.0),    # 90% saving
+            Table2Row("synthetic-8", 8, 40.0, 80.0),   # 50% saving
+        ]
+        t23 = next(c for c in check_table2(rows) if c.claim_id == "T2.3")
+        assert not t23.passed
+
+
+class TestTable3Checks:
+    def make_row(self, name, labels, chrom, traverse, brute, tt, bt):
+        return Table3Row(name, labels, chrom, traverse, brute, tt, bt, 1, 1)
+
+    def test_pass_shape(self):
+        rows = [
+            self.make_row("synthetic-4", 4, 0.1, 1.0, 1.2, 50, 100),
+            self.make_row("synthetic-8", 8, 0.1, 5.0, 7.0, 100, 400),
+        ]
+        assert all(c.passed for c in check_table3(rows))
+
+    def test_detects_test_inflation(self):
+        rows = [self.make_row("synthetic-4", 4, 0.1, 1.0, 1.2, 200, 100)]
+        t32 = next(c for c in check_table3(rows) if c.claim_id == "T3.2")
+        assert not t32.passed
+
+
+class TestTable4Checks:
+    def cells(self, powcov_errs, chrom_errs, ks=(10, 20)):
+        out = []
+        for k, pe, ce in zip(ks, powcov_errs, chrom_errs):
+            out.append(Table4Cell("d", "PowCov", k, run(abs_err=pe)))
+            out.append(Table4Cell("d", "ChromLand", k, run(abs_err=ce)))
+        return out
+
+    def test_pass_shape(self):
+        checks = check_table4(self.cells([1.0, 0.5], [3.0, 2.5]))
+        assert all(c.passed for c in checks)
+
+    def test_detects_accuracy_inversion(self):
+        checks = check_table4(self.cells([5.0, 4.0], [1.0, 1.0]))
+        t41 = next(c for c in checks if c.claim_id == "T4.1")
+        assert not t41.passed
+
+    def test_detects_error_growth_with_k(self):
+        checks = check_table4(self.cells([0.5, 2.0], [3.0, 3.0]))
+        t42 = next(c for c in checks if c.claim_id == "T4.2")
+        assert not t42.passed
+
+
+class TestFigure6Checks:
+    def panel(self, proposed, rnd, best, index="PowCov"):
+        return Figure6Series(
+            dataset="d", index=index, ks=[10, 20],
+            proposed=proposed, b_rnd=rnd, b_best=best,
+            b_best_strategy=["degree", "degree"],
+        )
+
+    def test_pass_shape(self):
+        panels = [
+            self.panel([0.2, 0.1], [0.5, 0.4], [0.3, 0.2]),
+            self.panel([0.6, 0.5], [1.0, 0.9], [0.8, 0.7], index="ChromLand"),
+        ]
+        assert all(c.passed for c in check_figure6(panels))
+
+    def test_detects_baseline_win(self):
+        panels = [self.panel([0.9, 0.9], [0.2, 0.2], [0.2, 0.2])]
+        checks = check_figure6(panels)
+        assert not checks[0].passed
+
+
+class TestRender:
+    def test_markdown_output(self):
+        rows = [Table2Row("d", 4, 5.0, 50.0)]
+        text = render_report(check_table2(rows))
+        assert "| claim |" in text
+        assert "claims reproduced" in text
+        assert "PASS" in text or "DRIFT" in text

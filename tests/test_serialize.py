@@ -1,0 +1,110 @@
+"""Tests for index serialization (save/load without rebuilding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chromland import ChromLandIndex
+from repro.core.powcov import PowCovIndex
+from repro.core.serialize import (
+    graph_fingerprint,
+    load_chromland,
+    load_powcov,
+    save_chromland,
+    save_powcov,
+)
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return labeled_erdos_renyi(40, 110, num_labels=3, seed=19)
+
+
+class TestFingerprint:
+    def test_stable(self, graph):
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+
+    def test_distinguishes_graphs(self, graph):
+        other = labeled_erdos_renyi(40, 110, num_labels=3, seed=20)
+        assert graph_fingerprint(graph) != graph_fingerprint(other)
+
+
+class TestPowCovRoundtrip:
+    def test_queries_identical(self, graph, tmp_path):
+        original = PowCovIndex(graph, [0, 13, 26]).build()
+        path = tmp_path / "powcov.npz"
+        save_powcov(original, path)
+        loaded = load_powcov(path, graph)
+        for s in range(0, 40, 4):
+            for t in range(1, 40, 5):
+                for mask in range(1, 8):
+                    assert loaded.query(s, t, mask) == original.query(s, t, mask)
+        assert loaded.index_size_entries() == original.index_size_entries()
+
+    def test_unbuilt_rejected(self, graph, tmp_path):
+        with pytest.raises(ValueError, match="build"):
+            save_powcov(PowCovIndex(graph, [0]), tmp_path / "x.npz")
+
+    def test_wrong_graph_rejected(self, graph, tmp_path):
+        index = PowCovIndex(graph, [0, 10]).build()
+        path = tmp_path / "powcov.npz"
+        save_powcov(index, path)
+        other = labeled_erdos_renyi(40, 110, num_labels=3, seed=99)
+        with pytest.raises(ValueError, match="different graph"):
+            load_powcov(path, other)
+
+    def test_wrong_kind_rejected(self, graph, tmp_path):
+        index = ChromLandIndex(graph, [0, 10], [0, 1]).build()
+        path = tmp_path / "c.npz"
+        save_chromland(index, path)
+        with pytest.raises(ValueError, match="not a PowCov"):
+            load_powcov(path, graph)
+
+    def test_directed_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(5)
+        edges = {(int(rng.integers(20)), int(rng.integers(20)),
+                  int(rng.integers(3))) for _ in range(70)}
+        edges = [(u, v, l) for u, v, l in edges if u != v]
+        digraph = EdgeLabeledGraph.from_edges(20, edges, num_labels=3,
+                                              directed=True)
+        original = PowCovIndex(digraph, [0, 7, 14]).build()
+        path = tmp_path / "d.npz"
+        save_powcov(original, path)
+        loaded = load_powcov(path, digraph)
+        for s in range(0, 20, 2):
+            for t in range(1, 20, 3):
+                for mask in range(1, 8):
+                    assert loaded.query(s, t, mask) == original.query(s, t, mask)
+
+
+class TestChromLandRoundtrip:
+    def test_queries_identical(self, graph, tmp_path):
+        original = ChromLandIndex(graph, [0, 10, 20, 30], [0, 1, 2, 0]).build()
+        path = tmp_path / "chromland.npz"
+        save_chromland(original, path)
+        loaded = load_chromland(path, graph)
+        for s in range(0, 40, 4):
+            for t in range(1, 40, 5):
+                for mask in range(1, 8):
+                    assert loaded.query(s, t, mask) == original.query(s, t, mask)
+
+    def test_query_mode_preserved(self, graph, tmp_path):
+        original = ChromLandIndex(graph, [0, 10], [0, 1],
+                                  query_mode="simple").build()
+        path = tmp_path / "c.npz"
+        save_chromland(original, path)
+        assert load_chromland(path, graph).query_mode == "simple"
+
+    def test_unbuilt_rejected(self, graph, tmp_path):
+        with pytest.raises(ValueError, match="build"):
+            save_chromland(ChromLandIndex(graph, [0], [0]), tmp_path / "x.npz")
+
+    def test_wrong_kind_rejected(self, graph, tmp_path):
+        index = PowCovIndex(graph, [0]).build()
+        path = tmp_path / "p.npz"
+        save_powcov(index, path)
+        with pytest.raises(ValueError, match="not a ChromLand"):
+            load_chromland(path, graph)

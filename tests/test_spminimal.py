@@ -1,0 +1,177 @@
+"""Tests for SP-minimal enumeration (Algorithms 1 & 2, Observations 1-4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.powcov.spminimal import (
+    BIG,
+    brute_force_sp_minimal,
+    generate_candidates,
+    generate_candidates_apriori,
+    traverse_powerset,
+)
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import iter_submasks, popcount
+from repro.graph.traversal import UNREACHABLE, constrained_bfs
+
+from conftest import make_line
+
+
+def definition_sp_minimal(graph, landmark):
+    """SP-minimality straight from Definitions 1-2 (all-subsets check)."""
+    num_masks = (1 << graph.num_labels) - 1
+    dist = {
+        mask: constrained_bfs(graph, landmark, mask)
+        for mask in range(1, num_masks + 1)
+    }
+    entries: dict[int, list[tuple[int, int]]] = {}
+    for mask in range(1, num_masks + 1):
+        for u in range(graph.num_vertices):
+            if u == landmark or dist[mask][u] == UNREACHABLE:
+                continue
+            subsumed = False
+            for sub in iter_submasks(mask):
+                if sub in (0, mask):
+                    continue
+                if dist[sub][u] != UNREACHABLE and dist[sub][u] == dist[mask][u]:
+                    subsumed = True
+                    break
+            if not subsumed:
+                entries.setdefault(u, []).append((int(dist[mask][u]), mask))
+    for pairs in entries.values():
+        pairs.sort()
+    return entries
+
+
+class TestAgainstDefinition:
+    """Theorem 2's one-removed test must agree with the full definition."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_brute_force_matches_definition(self, seed):
+        g = labeled_erdos_renyi(22, 45, num_labels=3, seed=seed)
+        assert brute_force_sp_minimal(g, 0).entries == definition_sp_minimal(g, 0)
+
+    def test_on_figure2(self, figure2):
+        g, x, u = figure2
+        result = brute_force_sp_minimal(g, x)
+        # labels: o=0, r=1, g=2 — the paper's Figure 2 claims {o} and
+        # {r,g} are SP-minimal w.r.t. (x, u) and {r,o} is not.
+        assert result.entries[u] == [(2, 0b001), (2, 0b110)]
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(10, 35), st.integers(10, 70), st.integers(2, 5),
+        st.integers(0, 500),
+    )
+    def test_traverse_equals_brute(self, n, m, labels, seed):
+        g = labeled_erdos_renyi(n, m, num_labels=labels, seed=seed)
+        landmark = seed % n
+        brute = brute_force_sp_minimal(g, landmark)
+        traverse = traverse_powerset(g, landmark)
+        assert traverse.entries == brute.entries
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            dict(use_obs1=False),
+            dict(use_obs2=False),
+            dict(use_obs3=False),
+            dict(use_obs4=False),
+            dict(use_obs1=False, use_obs2=False, use_obs3=False, use_obs4=False),
+            dict(use_obs2=False, use_obs4=False),
+        ],
+    )
+    def test_every_pruning_combination_is_equivalent(self, flags):
+        g = labeled_erdos_renyi(30, 70, num_labels=4, seed=11)
+        expected = brute_force_sp_minimal(g, 3).entries
+        assert traverse_powerset(g, 3, **flags).entries == expected
+
+    def test_pruning_reduces_tests(self):
+        g = labeled_erdos_renyi(60, 180, num_labels=5, seed=2)
+        brute = brute_force_sp_minimal(g, 0)
+        traverse = traverse_powerset(g, 0)
+        assert traverse.num_full_tests < brute.num_full_tests
+        assert traverse.num_sssp <= brute.num_sssp
+
+
+class TestCandidates:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_apriori_equals_direct(self, seed):
+        g = labeled_erdos_renyi(25, 60, num_labels=4, seed=seed)
+        for landmark in (0, 7, 13):
+            assert generate_candidates_apriori(g, landmark) == sorted(
+                generate_candidates(g, landmark)
+            )
+
+    def test_observation1_pruned_masks_are_unreachable(self):
+        """Masks skipped by Observation 1 reach nothing from the landmark."""
+        g = make_line([0, 1, 0], num_labels=3)  # label 2 unused at vertex 0
+        candidates = set(generate_candidates(g, 0))
+        for mask in range(1, 8):
+            if mask in candidates:
+                continue
+            dist = constrained_bfs(g, 0, mask)
+            assert (dist[1:] == UNREACHABLE).all(), mask
+
+    def test_isolated_landmark_has_no_candidates(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0)], num_labels=2)
+        assert generate_candidates(g, 2) == []
+        assert generate_candidates_apriori(g, 2) == []
+        assert traverse_powerset(g, 2).entries == {}
+        assert brute_force_sp_minimal(g, 2).entries == {}
+
+
+class TestStructuralProperties:
+    def test_proposition1_size_bound(self):
+        """|C| <= d_C(x, u) for every stored SP-minimal set (Prop. 1 core)."""
+        g = labeled_erdos_renyi(40, 100, num_labels=4, seed=9)
+        result = brute_force_sp_minimal(g, 5)
+        for _u, pairs in result.entries.items():
+            for dist, mask in pairs:
+                assert popcount(mask) <= dist
+
+    def test_singletons_always_minimal_when_reachable(self):
+        g = labeled_erdos_renyi(30, 80, num_labels=3, seed=4)
+        result = brute_force_sp_minimal(g, 0)
+        for label in range(3):
+            dist = constrained_bfs(g, 0, 1 << label)
+            for u in range(1, g.num_vertices):
+                if dist[u] != UNREACHABLE:
+                    assert (int(dist[u]), 1 << label) in result.entries.get(u, [])
+
+    def test_entries_sorted_by_distance(self):
+        g = labeled_erdos_renyi(30, 80, num_labels=4, seed=6)
+        result = traverse_powerset(g, 1)
+        for pairs in result.entries.values():
+            assert pairs == sorted(pairs)
+
+    def test_every_reachable_vertex_has_entries(self):
+        g = labeled_erdos_renyi(30, 90, num_labels=3, seed=8)
+        result = traverse_powerset(g, 2)
+        full = constrained_bfs(g, 2, 0b111)
+        for u in range(g.num_vertices):
+            if u == 2:
+                assert u not in result.entries
+            elif full[u] != UNREACHABLE:
+                assert u in result.entries
+
+    def test_stats_fields(self):
+        g = labeled_erdos_renyi(30, 80, num_labels=3, seed=1)
+        result = traverse_powerset(g, 0)
+        assert result.total_entries == sum(
+            len(p) for p in result.entries.values()
+        )
+        assert result.max_entries_per_vertex() == max(
+            len(p) for p in result.entries.values()
+        )
+        empty = traverse_powerset(
+            EdgeLabeledGraph.from_edges(2, [(0, 1, 0)], num_labels=1), 0
+        )
+        assert empty.max_entries_per_vertex() >= 0

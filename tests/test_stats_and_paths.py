@@ -1,0 +1,186 @@
+"""Tests for graph statistics, witness paths, and result export."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.stats import (
+    degree_statistics,
+    graph_profile,
+    label_entropy,
+    per_label_connectivity,
+)
+from repro.graph.traversal import (
+    UNREACHABLE,
+    constrained_bfs,
+    constrained_bfs_parents,
+    constrained_shortest_path,
+)
+
+from conftest import make_line
+
+
+class TestLabelEntropy:
+    def test_uniform(self):
+        g = EdgeLabeledGraph.from_edges(
+            5, [(0, 1, 0), (1, 2, 1), (2, 3, 2), (3, 4, 3)], num_labels=4
+        )
+        assert label_entropy(g) == pytest.approx(2.0)
+
+    def test_single_label(self):
+        g = make_line([0, 0, 0], num_labels=1)
+        assert label_entropy(g) == 0.0
+
+    def test_skew_lowers_entropy(self):
+        uniform = labeled_erdos_renyi(100, 400, 4, label_exponent=0.0, seed=1)
+        skewed = labeled_erdos_renyi(100, 400, 4, label_exponent=2.0, seed=1)
+        assert label_entropy(skewed) < label_entropy(uniform)
+
+
+class TestPerLabelConnectivity:
+    def test_line_two_labels(self):
+        g = make_line([0, 0, 1], num_labels=2)
+        stats = per_label_connectivity(g)
+        assert stats[0].num_edges == 2
+        assert stats[0].num_components == 1
+        assert stats[0].giant_fraction == 1.0
+        assert stats[1].num_edges == 1
+
+    def test_unused_label(self):
+        g = make_line([0], num_labels=3)
+        stats = per_label_connectivity(g)
+        assert stats[2].num_edges == 0
+        assert stats[2].giant_fraction == 0.0
+
+    def test_fragmented_label(self):
+        g = EdgeLabeledGraph.from_edges(
+            6, [(0, 1, 0), (2, 3, 0), (4, 5, 1)], num_labels=2
+        )
+        stats = per_label_connectivity(g)
+        assert stats[0].num_components == 2
+        assert stats[0].giant_fraction == pytest.approx(0.5)
+
+
+class TestDegreeStatistics:
+    def test_regular_graph_zero_gini(self):
+        g = EdgeLabeledGraph.from_edges(
+            4, [(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)], num_labels=1
+        )
+        mean, maximum, gini = degree_statistics(g)
+        assert mean == 2.0
+        assert maximum == 2
+        assert gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_high_gini(self):
+        g = EdgeLabeledGraph.from_edges(
+            7, [(0, i, 0) for i in range(1, 7)], num_labels=1
+        )
+        _, maximum, gini = degree_statistics(g)
+        assert maximum == 6
+        assert gini > 0.3
+
+
+class TestGraphProfile:
+    def test_profile_fields(self):
+        g, _ = load_dataset("youtube-sim", scale=0.15)
+        profile = graph_profile(g)
+        assert profile.num_vertices == g.num_vertices
+        assert sum(profile.label_frequencies) == g.num_edges
+        assert 0 < profile.dominant_label_share <= 1
+        assert 0 <= profile.mean_giant_fraction <= 1
+        assert len(profile.per_label) == g.num_labels
+
+    def test_powerlaw_vs_clustered_gini(self):
+        yt, _ = load_dataset("youtube-sim", scale=0.15)
+        bio, _ = load_dataset("biogrid-sim", scale=0.15)
+        assert graph_profile(yt).degree_gini > graph_profile(bio).degree_gini
+
+
+class TestWitnessPaths:
+    def test_parents_consistent_with_distances(self, random_graph):
+        dist, parents = constrained_bfs_parents(random_graph, 0, 0b0111)
+        for u in range(random_graph.num_vertices):
+            if dist[u] > 0:
+                p = int(parents[u])
+                assert dist[p] == dist[u] - 1
+                assert random_graph.has_edge(p, u)
+
+    def test_path_is_valid_and_shortest(self, random_graph):
+        mask = 0b0011
+        dist = constrained_bfs(random_graph, 0, mask)
+        for target in range(1, random_graph.num_vertices, 5):
+            path = constrained_shortest_path(random_graph, 0, target, mask)
+            if dist[target] == UNREACHABLE:
+                assert path is None
+                continue
+            assert path[0] == 0 and path[-1] == target
+            assert len(path) - 1 == dist[target]
+            for a, b in zip(path, path[1:]):
+                label = random_graph.edge_label(a, b)
+                # any parallel edge counts; at least one must be in mask
+                labels = [
+                    l for v, l in random_graph.iter_neighbors(a) if v == b
+                ]
+                assert any(mask & (1 << l) for l in labels)
+
+    def test_trivial_path(self, random_graph):
+        assert constrained_shortest_path(random_graph, 3, 3, 1) == [3]
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        from repro.eval.export import rows_to_dicts, write_csv
+        from repro.eval.tables import Table2Row
+
+        rows = [
+            Table2Row("d1", 4, 5.0, 10.0, 9.12, 13.39),
+            Table2Row("d2", 5, 7.0, 20.0, None, None),
+        ]
+        dicts = rows_to_dicts(rows)
+        assert dicts[0]["dataset"] == "d1"
+        path = tmp_path / "t2.csv"
+        write_csv(rows, path)
+        text = path.read_text()
+        assert "dataset" in text and "d2" in text
+
+    def test_json_handles_inf(self, tmp_path):
+        from repro.eval.export import write_json
+        from repro.eval.tables import Table3Row
+
+        rows = [Table3Row("d", 4, 0.1, float("nan"), float("inf"),
+                          0, 0, 0, 0)]
+        path = tmp_path / "t3.json"
+        write_json(rows, path)
+        payload = json.loads(path.read_text())
+        assert payload[0]["brute_seconds"] == "inf"
+        assert payload[0]["traverse_seconds"] == "nan"
+
+    def test_nested_dataclasses_flatten(self, tmp_path):
+        from repro.eval.export import rows_to_dicts
+        from repro.eval.metrics import OracleMetrics
+        from repro.eval.runner import IndexRun
+        from repro.eval.tables import Table4Cell
+
+        metrics = OracleMetrics(10, 0.5, 0.1, 0.4, 0.0, 1e-4)
+        run = IndexRun("powcov", 8, 1.0, metrics, 12.0, 5.5)
+        cell = Table4Cell("d", "PowCov", 8, run)
+        flat = rows_to_dicts([cell])[0]
+        assert flat["run.metrics.absolute_error"] == 0.5
+        assert flat["run.index_name"] == "powcov"
+
+    def test_empty_export_rejected(self, tmp_path):
+        from repro.eval.export import write_csv
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")
+
+    def test_non_dataclass_rejected(self):
+        from repro.eval.export import rows_to_dicts
+        with pytest.raises(TypeError):
+            rows_to_dicts([{"not": "a dataclass"}])

@@ -1,0 +1,80 @@
+"""Tests for the serving-side query-stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import popcount
+from repro.graph.traversal import bidirectional_constrained_bfs
+from repro.workloads.streams import (
+    fixed_context_stream,
+    locality_biased_stream,
+    size_skewed_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return labeled_erdos_renyi(80, 280, num_labels=5, seed=9)
+
+
+class TestSizeSkewed:
+    def test_count_and_ranges(self, graph):
+        stream = size_skewed_stream(graph, 200, seed=1)
+        assert len(stream) == 200
+        for s, t, mask in stream:
+            assert 0 <= s < graph.num_vertices
+            assert 1 <= popcount(mask) <= graph.num_labels
+
+    def test_small_sets_dominate(self, graph):
+        stream = size_skewed_stream(graph, 500, seed=2)
+        sizes = [popcount(mask) for _, _, mask in stream]
+        assert sizes.count(1) > sizes.count(4)
+
+    def test_deterministic(self, graph):
+        assert size_skewed_stream(graph, 50, seed=3) == size_skewed_stream(
+            graph, 50, seed=3
+        )
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            size_skewed_stream(graph, 0)
+        with pytest.raises(ValueError):
+            size_skewed_stream(graph, 10, success_probability=1.5)
+
+
+class TestLocalityBiased:
+    def test_pairs_within_radius(self, graph):
+        stream = locality_biased_stream(graph, 60, radius=3, seed=4)
+        assert len(stream) == 60
+        for s, t, mask in stream:
+            d = bidirectional_constrained_bfs(graph, s, t, mask)
+            assert d <= 2 * 3  # both endpoints in one radius-3 ball
+
+    def test_edgeless_graph_raises(self):
+        g = EdgeLabeledGraph.from_edges(50, [], num_labels=1)
+        with pytest.raises(RuntimeError):
+            locality_biased_stream(g, 10, radius=1, seed=0)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            locality_biased_stream(graph, 0)
+        with pytest.raises(ValueError):
+            locality_biased_stream(graph, 10, radius=0)
+
+
+class TestFixedContext:
+    def test_lazy_and_fixed(self, graph):
+        stream = fixed_context_stream(graph, 0b101, 40, seed=5)
+        items = list(stream)
+        assert len(items) == 40
+        assert all(mask == 0b101 for _, _, mask in items)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            list(fixed_context_stream(graph, 0, 10))
+        with pytest.raises(ValueError):
+            list(fixed_context_stream(graph, 1, 0))

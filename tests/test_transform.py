@@ -1,0 +1,152 @@
+"""Tests for graph/label transformations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.transform import (
+    collapse_rare_labels,
+    extract_k_core,
+    merge_labels,
+    relabel_vertices,
+)
+from repro.graph.traversal import bidirectional_constrained_bfs, constrained_bfs
+
+
+def labeled_triangle() -> EdgeLabeledGraph:
+    return EdgeLabeledGraph.from_edges(
+        3, [(0, 1, 0), (1, 2, 1), (2, 0, 2)], num_labels=3
+    )
+
+
+class TestMergeLabels:
+    def test_dict_mapping(self):
+        g = labeled_triangle()
+        merged = merge_labels(g, {2: 0})
+        assert merged.num_labels == 2
+        assert merged.label_frequencies().tolist() == [2, 1]
+
+    def test_dense_mapping(self):
+        g = labeled_triangle()
+        merged = merge_labels(g, [0, 0, 1])
+        assert merged.label_frequencies().tolist() == [2, 1]
+
+    def test_parallel_edges_dedup_after_merge(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", "x")
+        builder.add_edge("a", "b", "y")
+        g = builder.build()
+        merged = merge_labels(g, [0, 0])
+        assert merged.num_edges == 1
+
+    def test_distances_preserved_under_identity(self):
+        g = labeled_erdos_renyi(30, 80, num_labels=3, seed=2)
+        same = merge_labels(g, {})
+        for mask in (1, 3, 7):
+            assert np.array_equal(
+                constrained_bfs(g, 0, mask), constrained_bfs(same, 0, mask)
+            )
+
+    def test_merge_coarsens_distances(self):
+        """Merging labels can only shrink constrained distances (per new mask)."""
+        g = labeled_erdos_renyi(30, 80, num_labels=4, seed=3)
+        merged = merge_labels(g, [0, 0, 1, 1])
+        # new label 0 = old {0,1}; constraint {new 0} == old {0,1}
+        a = constrained_bfs(g, 0, 0b0011)
+        b = constrained_bfs(merged, 0, 0b01)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        g = labeled_triangle()
+        with pytest.raises(ValueError, match="out of range"):
+            merge_labels(g, {9: 0})
+        with pytest.raises(ValueError, match="cover every label"):
+            merge_labels(g, [0, 1])
+        with pytest.raises(ValueError, match="non-negative"):
+            merge_labels(g, [0, -1, 2])
+
+    def test_label_names(self):
+        g = labeled_triangle()
+        merged = merge_labels(g, [0, 1, 1], label_names=["keep", "fold"])
+        assert merged.label_universe.names == ["keep", "fold"]
+        with pytest.raises(ValueError, match="cover every new label"):
+            merge_labels(g, [0, 1, 2], label_names=["a"])
+
+
+class TestCollapseRareLabels:
+    def test_keeps_top_k(self):
+        g = labeled_erdos_renyi(100, 500, num_labels=6, label_exponent=1.5, seed=1)
+        collapsed = collapse_rare_labels(g, keep=2)
+        assert collapsed.num_labels == 3
+        freqs = collapsed.label_frequencies()
+        # top-2 labels keep their order; "other" holds the rest
+        assert freqs[0] >= freqs[1]
+        assert collapsed.label_universe.names[-1] == "other"
+
+    def test_edge_count_preserved_modulo_dedup(self):
+        g = labeled_erdos_renyi(50, 150, num_labels=5, seed=4)
+        collapsed = collapse_rare_labels(g, keep=3)
+        assert collapsed.num_edges <= g.num_edges
+        assert collapsed.num_edges >= g.num_edges * 0.9
+
+    def test_validation(self):
+        g = labeled_triangle()
+        with pytest.raises(ValueError):
+            collapse_rare_labels(g, keep=0)
+        with pytest.raises(ValueError):
+            collapse_rare_labels(g, keep=3)
+
+
+class TestRelabelVertices:
+    def test_roundtrip(self):
+        g = labeled_erdos_renyi(20, 50, num_labels=3, seed=5)
+        perm = list(reversed(range(20)))
+        relabeled = relabel_vertices(g, perm)
+        # distance between renamed endpoints is unchanged
+        for s, t in ((0, 10), (3, 17)):
+            assert bidirectional_constrained_bfs(g, s, t, 7) == (
+                bidirectional_constrained_bfs(relabeled, perm[s], perm[t], 7)
+            )
+
+    def test_validation(self):
+        g = labeled_triangle()
+        with pytest.raises(ValueError, match="cover every vertex"):
+            relabel_vertices(g, [0, 1])
+        with pytest.raises(ValueError, match="bijection"):
+            relabel_vertices(g, [0, 0, 1])
+
+
+class TestKCore:
+    def test_strips_pendant_vertices(self):
+        # triangle with a pendant
+        g = EdgeLabeledGraph.from_edges(
+            4, [(0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 0)], num_labels=1
+        )
+        core, kept = extract_k_core(g, 2)
+        assert core.num_vertices == 3
+        assert 3 not in kept.tolist()
+        assert (core.degrees() >= 2).all()
+
+    def test_empty_core(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0), (1, 2, 0)], num_labels=1)
+        core, kept = extract_k_core(g, 3)
+        assert core.num_vertices == 0
+        assert len(kept) == 0
+
+    def test_all_degrees_at_least_k(self):
+        g = labeled_erdos_renyi(100, 350, num_labels=3, seed=6)
+        core, kept = extract_k_core(g, 4)
+        if core.num_vertices:
+            assert int(core.degrees().min()) >= 4
+
+    def test_validation(self):
+        g = labeled_triangle()
+        with pytest.raises(ValueError):
+            extract_k_core(g, 0)
+        directed = EdgeLabeledGraph.from_edges(2, [(0, 1, 0)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            extract_k_core(directed, 2)

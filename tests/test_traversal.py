@@ -1,0 +1,303 @@
+"""Tests for traversal primitives, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import full_mask
+from repro.graph.traversal import (
+    UNREACHABLE,
+    bfs,
+    bidirectional_constrained_bfs,
+    connected_components,
+    constrained_bfs,
+    constrained_bfs_levels,
+    constrained_bfs_tree,
+    constrained_dijkstra,
+    eccentricity_lower_bound,
+    estimate_diameter,
+    label_filter,
+    largest_component_vertices,
+    monochromatic_sp_labels,
+)
+
+from conftest import make_line
+
+
+def to_networkx(graph: EdgeLabeledGraph, mask: int | None = None) -> nx.Graph:
+    nxg = nx.DiGraph() if graph.directed else nx.Graph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    for u, v, label in graph.iter_edges():
+        if mask is None or mask & (1 << label):
+            nxg.add_edge(u, v)
+    return nxg
+
+
+def graph_strategy():
+    return st.builds(
+        labeled_erdos_renyi,
+        num_vertices=st.integers(10, 40),
+        num_edges=st.integers(10, 80),
+        num_labels=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+
+
+class TestConstrainedBFS:
+    def test_source_distance_zero(self, random_graph):
+        dist = constrained_bfs(random_graph, 0, full_mask(4))
+        assert dist[0] == 0
+
+    def test_matches_networkx_unconstrained(self, random_graph):
+        dist = bfs(random_graph, 0)
+        expected = nx.single_source_shortest_path_length(to_networkx(random_graph), 0)
+        for v in range(random_graph.num_vertices):
+            if v in expected:
+                assert dist[v] == expected[v]
+            else:
+                assert dist[v] == UNREACHABLE
+
+    @pytest.mark.parametrize("mask", [1, 2, 3, 5, 15])
+    def test_matches_networkx_constrained(self, random_graph, mask):
+        dist = constrained_bfs(random_graph, 3, mask)
+        expected = nx.single_source_shortest_path_length(
+            to_networkx(random_graph, mask), 3
+        )
+        for v in range(random_graph.num_vertices):
+            got = dist[v] if dist[v] != UNREACHABLE else None
+            assert got == expected.get(v), (v, mask)
+
+    def test_constrained_equals_subgraph_bfs(self, random_graph):
+        for mask in (1, 6, 9):
+            direct = constrained_bfs(random_graph, 5, mask)
+            via_subgraph = bfs(random_graph.subgraph_by_mask(mask), 5)
+            assert np.array_equal(direct, via_subgraph)
+
+    def test_empty_mask_isolates_source(self, random_graph):
+        dist = constrained_bfs(random_graph, 0, 0)
+        assert dist[0] == 0
+        assert (dist[1:] == UNREACHABLE).all()
+
+    def test_monotonicity_in_labels(self, random_graph):
+        """C ⊆ C' implies d_{C'} <= d_C pointwise (with -1 as infinity)."""
+        small = constrained_bfs(random_graph, 2, 0b01)
+        large = constrained_bfs(random_graph, 2, 0b11)
+        small_inf = np.where(small == UNREACHABLE, 10**6, small)
+        large_inf = np.where(large == UNREACHABLE, 10**6, large)
+        assert (large_inf <= small_inf).all()
+
+    def test_precomputed_allowed_table(self, random_graph):
+        allowed = label_filter(random_graph, 0b101)
+        a = constrained_bfs(random_graph, 1, allowed=allowed)
+        b = constrained_bfs(random_graph, 1, 0b101)
+        assert np.array_equal(a, b)
+
+    def test_directed_respects_orientation(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0), (1, 2, 0)], directed=True)
+        assert constrained_bfs(g, 0, 1).tolist() == [0, 1, 2]
+        assert constrained_bfs(g, 2, 1).tolist() == [UNREACHABLE, UNREACHABLE, 0]
+
+
+class TestBFSLevels:
+    def test_levels_partition_reachable(self, random_graph):
+        dist, levels = constrained_bfs_levels(random_graph, 0, 0b1111)
+        seen = np.concatenate(levels)
+        assert len(seen) == len(set(seen.tolist()))
+        for t, level in enumerate(levels):
+            assert (dist[level] == t).all()
+        assert len(seen) == int((dist != UNREACHABLE).sum())
+
+    def test_levels_match_plain_bfs(self, random_graph):
+        dist_a, _levels = constrained_bfs_levels(random_graph, 7, 0b11)
+        dist_b = constrained_bfs(random_graph, 7, 0b11)
+        assert np.array_equal(dist_a, dist_b)
+
+
+class TestBFSTree:
+    def test_tree_arcs_connect_consecutive_levels(self, random_graph):
+        dist, tree = constrained_bfs_tree(random_graph, 0, 0b111)
+        for t, (src, tgt, labels) in enumerate(tree):
+            if t == 0:
+                assert len(src) == 0
+                continue
+            assert (dist[src] == t - 1).all()
+            assert (dist[tgt] == t).all()
+            assert len(src) == len(tgt) == len(labels)
+
+    def test_tree_contains_every_dag_arc(self, random_graph):
+        mask = 0b101
+        dist, tree = constrained_bfs_tree(random_graph, 4, mask)
+        got = set()
+        for src, tgt, labels in tree:
+            got.update(zip(src.tolist(), tgt.tolist(), labels.tolist()))
+        expected = set()
+        for u, v, label in random_graph.iter_edges():
+            if not mask & (1 << label):
+                continue
+            for a, b in ((u, v), (v, u)):
+                if dist[a] != UNREACHABLE and dist[b] == dist[a] + 1:
+                    expected.add((a, b, label))
+        assert got == expected
+
+    def test_tree_dist_matches_bfs(self, random_graph):
+        dist_a, _ = constrained_bfs_tree(random_graph, 9, 0b11)
+        dist_b = constrained_bfs(random_graph, 9, 0b11)
+        assert np.array_equal(dist_a, dist_b)
+
+
+class TestBidirectional:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy(), st.integers(0, 9), st.integers(0, 9),
+           st.integers(1, 15))
+    def test_matches_unidirectional(self, graph, s, t, mask):
+        mask &= full_mask(graph.num_labels)
+        if mask == 0:
+            mask = 1
+        s %= graph.num_vertices
+        t %= graph.num_vertices
+        expected = constrained_bfs(graph, s, mask)[t]
+        expected = math.inf if expected == UNREACHABLE else float(expected)
+        assert bidirectional_constrained_bfs(graph, s, t, mask) == expected
+
+    def test_same_vertex(self, random_graph):
+        assert bidirectional_constrained_bfs(random_graph, 5, 5, 1) == 0.0
+
+    def test_unreachable(self):
+        g = EdgeLabeledGraph.from_edges(4, [(0, 1, 0), (2, 3, 0)], num_labels=1)
+        assert math.isinf(bidirectional_constrained_bfs(g, 0, 3, 1))
+
+    def test_directed(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0), (1, 2, 0)], directed=True)
+        assert bidirectional_constrained_bfs(g, 0, 2, 1) == 2.0
+        assert math.isinf(bidirectional_constrained_bfs(g, 2, 0, 1))
+
+    def test_exhaustive_small_graph(self, small_graphs):
+        for g in small_graphs[:2]:
+            for mask in range(1, 1 << g.num_labels):
+                full = {
+                    s: constrained_bfs(g, s, mask) for s in range(0, g.num_vertices, 5)
+                }
+                for s, dist in full.items():
+                    for t in range(0, g.num_vertices, 3):
+                        expected = dist[t]
+                        expected = (
+                            math.inf if expected == UNREACHABLE else float(expected)
+                        )
+                        got = bidirectional_constrained_bfs(g, s, t, mask)
+                        assert got == expected, (s, t, mask)
+
+
+class TestDijkstra:
+    def test_unit_weights_match_bfs(self, random_graph):
+        for mask in (1, 7, 15):
+            dij = constrained_dijkstra(random_graph, 0, mask)
+            bfs_dist = constrained_bfs(random_graph, 0, mask)
+            for v in range(random_graph.num_vertices):
+                if bfs_dist[v] == UNREACHABLE:
+                    assert math.isinf(dij[v])
+                else:
+                    assert dij[v] == bfs_dist[v]
+
+    def test_weighted(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0), (1, 2, 0), (0, 2, 1)])
+        # give every label-1 arc weight 5
+        weights = np.where(g.edge_labels == 1, 5.0, 1.0)
+        dist = constrained_dijkstra(g, 0, 0b11, weights=weights)
+        assert dist[2] == 2.0  # through vertex 1, not the direct label-1 edge
+
+    def test_target_early_exit(self, random_graph):
+        full = constrained_dijkstra(random_graph, 0, 15)
+        single = constrained_dijkstra(random_graph, 0, 15, target=13)
+        assert single == full[13]
+
+    def test_bad_weights_length(self, random_graph):
+        with pytest.raises(ValueError, match="parallel"):
+            constrained_dijkstra(random_graph, 0, 1, weights=np.ones(3))
+
+
+class TestMonochromatic:
+    def test_line_single_color(self):
+        g = make_line([0, 0, 0], num_labels=2)
+        mono = monochromatic_sp_labels(g, 0)
+        assert mono.tolist() == [0b11, 0b01, 0b01, 0b01]
+
+    def test_line_color_change_blocks(self):
+        g = make_line([0, 1, 0], num_labels=2)
+        mono = monochromatic_sp_labels(g, 0)
+        assert mono[1] == 0b01
+        assert mono[2] == 0  # path uses two colors
+        assert mono[3] == 0
+
+    def test_parallel_monochromatic_paths(self, figure2):
+        g, x, u = figure2
+        mono = monochromatic_sp_labels(g, x)
+        # u has the all-orange shortest path; orange is dense label 0.
+        assert mono[u] == 0b001
+
+    def test_definition_against_bruteforce(self, small_graphs):
+        """mono bit l set iff d_{l}(x,u) equals the unconstrained distance."""
+        for g in small_graphs[:3]:
+            x = 0
+            base = bfs(g, x)
+            mono = monochromatic_sp_labels(g, x)
+            for label in range(g.num_labels):
+                single = constrained_bfs(g, x, 1 << label)
+                for u in range(g.num_vertices):
+                    if u == x:
+                        continue
+                    expected = (
+                        base[u] != UNREACHABLE
+                        and single[u] == base[u]
+                    )
+                    assert bool(mono[u] & (1 << label)) == bool(expected), (u, label)
+
+
+class TestComponents:
+    def test_single_component(self, random_graph):
+        comp = connected_components(random_graph)
+        # The generator's graph may have isolated vertices; the big
+        # component must contain the majority.
+        assert np.bincount(comp).max() >= random_graph.num_vertices // 2
+
+    def test_two_components(self):
+        g = EdgeLabeledGraph.from_edges(5, [(0, 1, 0), (2, 3, 0)], num_labels=1)
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        assert comp[4] not in (comp[0], comp[2])
+
+    def test_directed_weak_components(self):
+        g = EdgeLabeledGraph.from_edges(3, [(0, 1, 0)], directed=True)
+        comp = connected_components(g)
+        assert comp[0] == comp[1] != comp[2]
+
+    def test_largest_component(self):
+        g = EdgeLabeledGraph.from_edges(6, [(0, 1, 0), (1, 2, 0), (3, 4, 0)])
+        assert sorted(largest_component_vertices(g).tolist()) == [0, 1, 2]
+
+
+class TestDiameter:
+    def test_path_graph_exact(self):
+        g = make_line([0] * 9, num_labels=1)
+        assert estimate_diameter(g) == 9
+
+    def test_eccentricity(self):
+        g = make_line([0] * 4, num_labels=1)
+        ecc, far = eccentricity_lower_bound(g, 0)
+        assert ecc == 4 and far == 4
+
+    def test_lower_bound_property(self, random_graph):
+        est = estimate_diameter(random_graph, sweeps=2)
+        nxg = to_networkx(random_graph)
+        giant = max(nx.connected_components(nxg), key=len)
+        true = nx.diameter(nxg.subgraph(giant))
+        assert est <= true
+        assert est >= max(1, true - 2)  # double sweep is near-tight in practice

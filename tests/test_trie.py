@@ -1,0 +1,83 @@
+"""Tests for the label-set prefix tree, including hypothesis cross-checks."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.trie import LabelSetTrie
+from repro.graph.labelsets import is_subset
+
+mask_sets = st.sets(st.integers(min_value=1, max_value=(1 << 8) - 1), max_size=24)
+masks = st.integers(min_value=0, max_value=(1 << 8) - 1)
+
+
+class TestBasics:
+    def test_empty_trie(self):
+        trie = LabelSetTrie()
+        assert len(trie) == 0
+        assert not trie.contains_subset_of(0b111)
+        assert 0b1 not in trie
+
+    def test_insert_and_contains(self):
+        trie = LabelSetTrie()
+        assert trie.insert(0b011)
+        assert not trie.insert(0b011)  # duplicate
+        assert 0b011 in trie
+        assert 0b001 not in trie  # prefixes are not members
+        assert len(trie) == 1
+
+    def test_init_from_iterable(self):
+        trie = LabelSetTrie(iter([1, 2, 3]))
+        assert len(trie) == 3
+
+    def test_empty_set_membership(self):
+        trie = LabelSetTrie()
+        trie.insert(0)
+        assert 0 in trie
+        assert trie.contains_subset_of(0)  # ∅ ⊆ anything
+        assert trie.contains_subset_of(0b101)
+
+    def test_doctest_example(self):
+        trie = LabelSetTrie()
+        trie.insert(0b011)
+        trie.insert(0b100)
+        assert trie.contains_subset_of(0b111)
+        assert not trie.contains_subset_of(0b001)
+
+    def test_node_count_shares_prefixes(self):
+        trie = LabelSetTrie()
+        trie.insert(0b0011)  # {0,1}
+        trie.insert(0b0111)  # {0,1,2}
+        # root + 0 + 1 + 2 nodes
+        assert trie.node_count() == 4
+
+
+class TestAgainstNaive:
+    @given(mask_sets, masks)
+    def test_contains_subset_of(self, stored, constraint):
+        trie = LabelSetTrie(iter(stored))
+        expected = any(is_subset(s, constraint) for s in stored)
+        assert trie.contains_subset_of(constraint) == expected
+
+    @given(mask_sets, masks)
+    def test_subsets_of(self, stored, constraint):
+        trie = LabelSetTrie(iter(stored))
+        expected = sorted(s for s in stored if is_subset(s, constraint))
+        assert sorted(trie.subsets_of(constraint)) == expected
+
+    @given(mask_sets, masks)
+    def test_supersets_of(self, stored, query):
+        trie = LabelSetTrie(iter(stored))
+        expected = sorted(s for s in stored if is_subset(query, s))
+        assert sorted(trie.supersets_of(query)) == expected
+
+    @given(mask_sets)
+    def test_iter_masks_roundtrip(self, stored):
+        trie = LabelSetTrie(iter(stored))
+        assert sorted(trie.iter_masks()) == sorted(stored)
+        assert len(trie) == len(stored)
+
+    @given(mask_sets, masks)
+    def test_membership(self, stored, probe):
+        trie = LabelSetTrie(iter(stored))
+        assert (probe in trie) == (probe in stored)

@@ -1,0 +1,93 @@
+"""Tests for workload generation (the Section 5 query recipe)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import popcount
+from repro.workloads import generate_workload, random_label_set
+
+from conftest import exact_constrained_distance
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = labeled_erdos_renyi(60, 200, num_labels=4, seed=1)
+    return graph, generate_workload(graph, num_pairs=40, seed=3)
+
+
+class TestRandomLabelSet:
+    def test_exact_size(self):
+        rng = np.random.default_rng(0)
+        for size in range(1, 6):
+            mask = random_label_set(rng, 5, size)
+            assert popcount(mask) == size
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_label_set(rng, 3, 0)
+        with pytest.raises(ValueError):
+            random_label_set(rng, 3, 4)
+
+
+class TestGenerateWorkload:
+    def test_all_queries_finite(self, workload):
+        graph, wl = workload
+        for q in wl:
+            assert not math.isinf(q.exact)
+            assert q.source != q.target
+
+    def test_exact_values_correct(self, workload):
+        graph, wl = workload
+        for q in wl.queries[:40]:
+            assert q.exact == exact_constrained_distance(
+                graph, q.source, q.target, q.label_mask
+            )
+
+    def test_sizes_one_to_L_sampled(self, workload):
+        graph, wl = workload
+        sizes = {popcount(q.label_mask) for q in wl}
+        # the full-label-set queries always survive the finite filter
+        assert graph.num_labels in sizes
+        assert 1 in sizes or 2 in sizes  # small sets often infinite, not always
+
+    def test_at_most_L_queries_per_pair(self, workload):
+        graph, wl = workload
+        from collections import Counter
+        per_pair = Counter((q.source, q.target) for q in wl)
+        assert max(per_pair.values()) <= graph.num_labels
+
+    def test_deterministic(self):
+        g = labeled_erdos_renyi(40, 120, num_labels=3, seed=5)
+        a = generate_workload(g, num_pairs=15, seed=9)
+        b = generate_workload(g, num_pairs=15, seed=9)
+        assert [(q.source, q.target, q.label_mask) for q in a] == [
+            (q.source, q.target, q.label_mask) for q in b
+        ]
+
+    def test_keep_infinite(self):
+        g = labeled_erdos_renyi(40, 100, num_labels=4, seed=2)
+        wl = generate_workload(g, num_pairs=20, seed=1, keep_infinite=True)
+        assert len(wl) == 20 * g.num_labels  # nothing filtered
+        assert any(math.isinf(q.exact) for q in wl)
+
+    def test_average_distance(self, workload):
+        _, wl = workload
+        avg = wl.average_distance()
+        assert 0 < avg < 60
+
+    def test_validation(self):
+        g = labeled_erdos_renyi(20, 40, num_labels=2, seed=0)
+        with pytest.raises(ValueError):
+            generate_workload(g, num_pairs=0)
+
+    def test_disconnected_graph_raises(self):
+        g = EdgeLabeledGraph.from_edges(100, [(0, 1, 0)], num_labels=1)
+        with pytest.raises(RuntimeError, match="connected pairs"):
+            generate_workload(g, num_pairs=50, seed=0)
