@@ -8,6 +8,8 @@ built once per session and shared.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.chromland import ChromLandIndex, local_search_selection
@@ -16,7 +18,9 @@ from repro.graph.datasets import load_dataset, paper_synthetic
 from repro.landmarks import select_landmarks
 from repro.workloads import generate_workload
 
-BENCH_SCALE = 0.25
+# REPRO_BENCH_SCALE lets CI smoke jobs shrink the graphs further without
+# editing the suite (see .github/workflows/ci.yml).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 BENCH_PAIRS = 60
 BENCH_K = 8
 BENCH_SEED = 7

@@ -21,7 +21,9 @@ from collections.abc import Sequence
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
-from ...graph.traversal import UNREACHABLE, constrained_bfs
+from ...graph.traversal import UNREACHABLE
+from ...perf.batched import batched_constrained_bfs
+from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
 from ..types import DistanceOracle, QueryAnswer
 from .query import auxiliary_graph_distance, simple_triangle_distance
 
@@ -90,13 +92,21 @@ class ChromLandIndex(DistanceOracle):
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
-    def build(self) -> "ChromLandIndex":
+    def build(self, parallel: "ParallelConfig | int | None" = None) -> "ChromLandIndex":
         """Run the ``k`` mono-chromatic and ``k (|L*|-1)`` bi-chromatic BFS.
 
         ``|L*|`` is the number of *distinct* colors actually assigned;
         bi-chromatic traversals are shared across all landmarks of the same
         target color.
+
+        All sweeps run through the batched multi-source kernel
+        (:func:`repro.perf.batched.batched_constrained_bfs`), which
+        amortizes the per-level CSR gathers across landmarks; ``parallel``
+        additionally fans chunks of sweeps out over workers (results are
+        reassembled in job order, so the tables are bit-for-bit identical
+        to a serial build).
         """
+        config = resolve_parallel(parallel)
         k = self.num_landmarks
         n = self.graph.num_vertices
         self.mono = np.full((k, n), UNREACHABLE, dtype=np.int32)
@@ -105,22 +115,47 @@ class ChromLandIndex(DistanceOracle):
         landmarks_by_color = {
             color: np.nonzero(self.colors == color)[0] for color in color_values
         }
-        reversed_graph = self.graph.reversed() if self.graph.directed else None
-        if reversed_graph is not None:
+        directed = self.graph.directed
+        graphs: tuple[EdgeLabeledGraph, ...] = (self.graph,)
+        if directed:
+            graphs = (self.graph, self.graph.reversed())
             self.mono_in = np.full((k, n), UNREACHABLE, dtype=np.int32)
+
+        # One job per sweep: (graph_index, source, mask, landmarks_only).
+        # ``landmarks_only`` jobs return just the distances at the landmark
+        # vertices (all a bi-chromatic row needs), not the full array.
+        jobs: list[tuple[int, int, int, bool]] = []
+        unpackers: list = []
         for i in range(k):
             x = int(self.landmarks[i])
             own_color = int(self.colors[i])
-            self.mono[i] = constrained_bfs(self.graph, x, 1 << own_color)
-            if reversed_graph is not None:
-                self.mono_in[i] = constrained_bfs(reversed_graph, x, 1 << own_color)
+            jobs.append((0, x, 1 << own_color, False))
+            unpackers.append(("mono", i))
+            if directed:
+                jobs.append((1, x, 1 << own_color, False))
+                unpackers.append(("mono_in", i))
             for other_color in color_values:
                 if other_color == own_color:
                     continue
                 mask = (1 << own_color) | (1 << other_color)
-                dist = constrained_bfs(self.graph, x, mask)
+                jobs.append((0, x, mask, True))
+                unpackers.append(("bi", i, other_color))
+        results = run_tasks(
+            _chromland_chunk_task,
+            jobs,
+            graphs=graphs,
+            extra={"landmarks": np.asarray(self.landmarks, dtype=np.int64)},
+            config=config,
+        )
+        for what, row in zip(unpackers, results):
+            if what[0] == "mono":
+                self.mono[what[1]] = row
+            elif what[0] == "mono_in":
+                self.mono_in[what[1]] = row
+            else:
+                _tag, i, other_color = what
                 targets = landmarks_by_color[other_color]
-                self.bi[i, targets] = dist[self.landmarks[targets]]
+                self.bi[i, targets] = row[targets]
         # cd is symmetric on undirected graphs; keep the best of both runs
         # (they agree there, and on directed graphs this stays an upper
         # bound in each direction).
@@ -184,3 +219,28 @@ class ChromLandIndex(DistanceOracle):
             f"{self.name}(k={self.num_landmarks}, mode={self.query_mode}) "
             f"on {self.graph!r}"
         )
+
+
+def _chromland_chunk_task(
+    graphs: tuple[EdgeLabeledGraph, ...], items, extra: dict
+) -> list[np.ndarray]:
+    """Run a chunk of ChromLand sweeps as batched multi-source BFS.
+
+    Each item is ``(graph_index, source, mask, landmarks_only)``; all items
+    sharing a graph become one :func:`batched_constrained_bfs` call, so the
+    frontier expansion is amortized across the chunk's sweeps.  Module
+    level so the process backend can ship it to workers by reference.
+    """
+    landmarks = extra["landmarks"]
+    by_graph: dict[int, list[int]] = {}
+    for position, (graph_index, _source, _mask, _landmarks_only) in enumerate(items):
+        by_graph.setdefault(graph_index, []).append(position)
+    results: list[np.ndarray | None] = [None] * len(items)
+    for graph_index, positions in by_graph.items():
+        sources = [items[p][1] for p in positions]
+        masks = [items[p][2] for p in positions]
+        dist = batched_constrained_bfs(graphs[graph_index], sources, masks=masks)
+        for row, p in enumerate(positions):
+            full_row = dist[row]
+            results[p] = full_row[landmarks] if items[p][3] else full_row
+    return results

@@ -36,6 +36,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
+from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
 from ..trie import LabelSetTrie
 from ..types import INF, DistanceOracle, QueryAnswer
 from .spminimal import LandmarkSPMinimal, brute_force_sp_minimal, traverse_powerset
@@ -68,6 +69,15 @@ class PowCovIndex(DistanceOracle):
         ``"upper"`` — the paper's estimate, ``min_x d_C(x,s) + d_C(x,t)``;
         ``"median"`` — the median of the per-landmark upper bounds
         (Potamias et al.), kept for the estimator ablation.
+
+    Notes
+    -----
+    **Directed graphs support** ``storage="flat"`` **only.**  A directed
+    index keeps two tables per landmark (forward and reversed-graph
+    entries) and the query path resolves the reverse leg through the flat
+    per-vertex lists; the ``"packed"`` and ``"trie"`` layouts only
+    materialize the forward table, so requesting them for a directed graph
+    raises ``ValueError`` at construction time.
     """
 
     name = "powcov"
@@ -120,23 +130,46 @@ class PowCovIndex(DistanceOracle):
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
+    def _build_task_extra(self) -> dict:
+        """Picklable build parameters shipped to workers (subclass hook)."""
+        return {"builder": self.builder}
+
     def _build_one(self, landmark: int, graph=None) -> LandmarkSPMinimal:
         graph = self.graph if graph is None else graph
-        if self.builder == "brute":
-            return brute_force_sp_minimal(graph, landmark)
-        if self.builder == "traverse-paper":
-            return traverse_powerset(graph, landmark)
-        return traverse_powerset(graph, landmark, use_obs4=False)
+        return _build_landmark(graph, landmark, self._build_task_extra())
 
-    def build(self) -> "PowCovIndex":
-        """Compute SP-minimal sets for every landmark and lay out storage."""
-        self.per_landmark = [self._build_one(x) for x in self.landmarks]
+    def build(self, parallel: "ParallelConfig | int | None" = None) -> "PowCovIndex":
+        """Compute SP-minimal sets for every landmark and lay out storage.
+
+        Parameters
+        ----------
+        parallel:
+            ``None`` (default) uses the process-wide default set via
+            :func:`repro.perf.parallel.set_default_parallel` (serial unless
+            an experiment driver opted in); an ``int`` is shorthand for
+            ``ParallelConfig(num_workers=n)``.  Per-landmark sweeps are
+            independent and results are reassembled in landmark order, so
+            the built index is bit-for-bit identical for every
+            configuration.
+        """
+        config = resolve_parallel(parallel)
+        items: list[tuple[int, int]] = [(x, 0) for x in self.landmarks]
+        graphs: list[EdgeLabeledGraph] = [self.graph]
+        if self.graph.directed:
+            graphs.append(self.graph.reversed())
+            items.extend((x, 1) for x in self.landmarks)
+        results = run_tasks(
+            _landmark_chunk_task,
+            items,
+            graphs=tuple(graphs),
+            extra=self._build_task_extra(),
+            config=config,
+        )
+        k = len(self.landmarks)
+        self.per_landmark = results[:k]
         self._flat = [result.entries for result in self.per_landmark]
         if self.graph.directed:
-            reversed_graph = self.graph.reversed()
-            self.per_landmark_reverse = [
-                self._build_one(x, reversed_graph) for x in self.landmarks
-            ]
+            self.per_landmark_reverse = results[k:]
             self._flat_reverse = [r.entries for r in self.per_landmark_reverse]
         if self.storage == "packed":
             self._build_packed()
@@ -400,3 +433,39 @@ class PowCovIndex(DistanceOracle):
             f"{self.name}(k={len(self.landmarks)}, builder={self.builder}, "
             f"storage={self.storage}) on {self.graph!r}"
         )
+
+
+# ----------------------------------------------------------------------
+# Build task functions.  Module-level so the process backend can ship them
+# to workers by reference; serial and parallel builds share this single
+# code path, which is what makes their outputs bit-for-bit identical.
+# ----------------------------------------------------------------------
+def _build_landmark(
+    graph: EdgeLabeledGraph, landmark: int, extra: dict
+) -> LandmarkSPMinimal:
+    """One landmark's SP-minimal enumeration, parameterized by ``extra``."""
+    weights = extra.get("weights")
+    if weights is not None:
+        from .weighted import weighted_sp_minimal  # local: avoids cycle
+
+        return weighted_sp_minimal(graph, landmark, weights)
+    builder = extra["builder"]
+    if builder == "brute":
+        return brute_force_sp_minimal(graph, landmark)
+    if builder == "traverse-paper":
+        return traverse_powerset(graph, landmark)
+    return traverse_powerset(graph, landmark, use_obs4=False)
+
+
+def _landmark_chunk_task(
+    graphs: tuple[EdgeLabeledGraph, ...], items, extra: dict
+) -> list[LandmarkSPMinimal]:
+    """Chunk task: each item is ``(landmark, graph_index)``.
+
+    ``graph_index`` selects the forward (0) or reversed (1) graph — the
+    directed build fans both table families out over the same pool.
+    """
+    return [
+        _build_landmark(graphs[graph_index], landmark, extra)
+        for landmark, graph_index in items
+    ]

@@ -121,6 +121,7 @@ class WeightedPowCovIndex(PowCovIndex):
             raise ValueError("weights must be parallel to the arc arrays")
         self.weights = np.asarray(weights, dtype=np.float64)
 
-    def _build_one(self, landmark: int, graph=None) -> LandmarkSPMinimal:
-        graph = self.graph if graph is None else graph
-        return weighted_sp_minimal(graph, landmark, self.weights)
+    def _build_task_extra(self) -> dict:
+        # The weights array rides along to workers through the pool
+        # initializer (once per worker, not per task).
+        return {"builder": self.builder, "weights": self.weights}

@@ -5,6 +5,7 @@ Usage::
     python -m repro.eval.cli table1
     python -m repro.eval.cli table2 --scale 0.5 --k 10
     python -m repro.eval.cli table3
+    python -m repro.eval.cli table3 --workers 4
     python -m repro.eval.cli table4 --ks 10,20,30,40,50 --pairs 250
     python -m repro.eval.cli fig6    --ks 10,20,30,40
     python -m repro.eval.cli scaling --ks 20
@@ -74,11 +75,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ks", type=_parse_ks, default=(10, 20, 30, 40, 50),
                         help="comma-separated landmark counts for table4/fig6")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for index construction "
+                        "(1 = serial, 0 = all cores); output is identical "
+                        "for every worker count")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the output to this file")
     parser.add_argument("--csv-dir", type=str, default=None,
                         help="export machine-readable CSVs into this directory")
     args = parser.parse_args(argv)
+
+    if args.workers < 0:
+        parser.error("argument --workers: must be >= 0")
+    if args.workers != 1:
+        from ..perf.parallel import ParallelConfig, set_default_parallel
+
+        set_default_parallel(ParallelConfig(num_workers=args.workers))
 
     sections: list[str] = []
 

@@ -17,6 +17,7 @@ from ..core.naive import NaivePowersetIndex
 from ..core.powcov import PowCovIndex
 from ..graph.labeled_graph import EdgeLabeledGraph
 from ..landmarks import select_landmarks
+from ..perf.parallel import ParallelConfig
 from ..workloads.queries import Workload
 from .metrics import OracleMetrics, evaluate_oracle, time_oracle
 
@@ -87,11 +88,19 @@ def run_powcov(
     baseline_seconds: float | None = None,
     builder: str = "traverse",
     storage: str = "flat",
+    parallel: "ParallelConfig | int | None" = None,
 ) -> IndexRun:
-    """Build a PowCov index with ``k`` landmarks and evaluate it."""
+    """Build a PowCov index with ``k`` landmarks and evaluate it.
+
+    ``parallel`` is forwarded to :meth:`PowCovIndex.build`; ``None`` picks
+    up the process-wide default (the CLI's ``--workers`` flag), keeping the
+    built index bit-for-bit identical either way.
+    """
     landmarks = select_landmarks(graph, k, strategy=strategy, seed=seed)
     started = time.perf_counter()
-    index = PowCovIndex(graph, landmarks, builder=builder, storage=storage).build()
+    index = PowCovIndex(graph, landmarks, builder=builder, storage=storage).build(
+        parallel=parallel
+    )
     build_seconds = time.perf_counter() - started
     metrics = evaluate_oracle(index, workload)
     if baseline_seconds is None:
@@ -115,6 +124,7 @@ def run_chromland(
     seed: int | None = 0,
     baseline_seconds: float | None = None,
     query_mode: str = "auxiliary",
+    parallel: "ParallelConfig | int | None" = None,
 ) -> IndexRun:
     """Build a ChromLand index with ``k`` landmarks and evaluate it.
 
@@ -147,7 +157,9 @@ def run_chromland(
             colors = [int(c) for c in rng.integers(0, graph.num_labels, size=k)]
     else:
         raise ValueError(f"unknown ChromLand selection {selection!r}")
-    index = ChromLandIndex(graph, landmarks, colors, query_mode=query_mode).build()
+    index = ChromLandIndex(graph, landmarks, colors, query_mode=query_mode).build(
+        parallel=parallel
+    )
     build_seconds = time.perf_counter() - started
     metrics = evaluate_oracle(index, workload)
     if baseline_seconds is None:

@@ -50,6 +50,7 @@ class EdgeLabeledGraph:
         "label_universe",
         "_num_edges",
         "_incident_label_masks",
+        "_label_filter_cache",
     )
 
     def __init__(
@@ -83,6 +84,8 @@ class EdgeLabeledGraph:
             num_edges = len(neighbors) if directed else len(neighbors) // 2
         self._num_edges = int(num_edges)
         self._incident_label_masks: np.ndarray | None = None
+        #: per-mask boolean label tables, filled lazily by ``label_filter``.
+        self._label_filter_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers

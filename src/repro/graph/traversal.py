@@ -45,12 +45,33 @@ __all__ = [
 UNREACHABLE = -1
 
 
+#: Upper bound on cached label tables per graph; a brute-force powerset
+#: sweep visits each mask once, so unbounded growth buys nothing there.
+_LABEL_FILTER_CACHE_LIMIT = 4096
+
+
 def label_filter(graph: EdgeLabeledGraph, mask: int) -> np.ndarray:
-    """Boolean lookup table: ``table[label_id]`` is True iff the label is in ``mask``."""
-    table = np.zeros(graph.num_labels, dtype=bool)
-    for label in range(graph.num_labels):
-        if mask & (1 << label):
-            table[label] = True
+    """Boolean lookup table: ``table[label_id]`` is True iff the label is in ``mask``.
+
+    Computed once per ``(graph, mask)`` — the table is memoized on the
+    graph, so repeated constrained traversals with the same constraint
+    reuse it.  Callers must not mutate the returned array.
+    """
+    cache = graph._label_filter_cache
+    table = cache.get(mask)
+    if table is None:
+        if graph.num_labels <= 63:
+            shifts = np.arange(graph.num_labels, dtype=np.int64)
+            table = ((np.int64(mask) >> shifts) & 1).astype(bool)
+        else:  # masks beyond int64: bit-test label by label
+            table = np.fromiter(
+                (bool(mask >> label & 1) for label in range(graph.num_labels)),
+                dtype=bool,
+                count=graph.num_labels,
+            )
+        if len(cache) >= _LABEL_FILTER_CACHE_LIMIT:
+            cache.clear()
+        cache[mask] = table
     return table
 
 
@@ -94,6 +115,7 @@ def constrained_bfs(
     dist = np.full(graph.num_vertices, UNREACHABLE, dtype=np.int32)
     dist[source] = 0
     frontier = np.array([source], dtype=np.int64)
+    fresh = np.empty(graph.num_vertices, dtype=bool)  # reused across levels
     level = 0
     while len(frontier):
         level += 1
@@ -101,11 +123,15 @@ def constrained_bfs(
         if len(arc_idx) == 0:
             break
         arc_idx = arc_idx[allowed[graph.edge_labels[arc_idx]]]
-        targets = graph.neighbors[arc_idx]
-        targets = targets[dist[targets] == UNREACHABLE]
+        # Deduplicate arc targets *before* the distance gather: high-degree
+        # frontiers revisit the same target many times per level.
+        targets = np.unique(graph.neighbors[arc_idx])
         if len(targets) == 0:
             break
-        frontier = np.unique(targets).astype(np.int64)
+        unvisited = np.equal(dist[targets], UNREACHABLE, out=fresh[: len(targets)])
+        frontier = targets[unvisited].astype(np.int64)
+        if len(frontier) == 0:
+            break
         dist[frontier] = level
     return dist
 
@@ -129,6 +155,7 @@ def constrained_bfs_levels(
     dist[source] = 0
     frontier = np.array([source], dtype=np.int64)
     levels = [frontier]
+    fresh = np.empty(graph.num_vertices, dtype=bool)
     level = 0
     while len(frontier):
         level += 1
@@ -136,11 +163,13 @@ def constrained_bfs_levels(
         if len(arc_idx) == 0:
             break
         arc_idx = arc_idx[allowed[graph.edge_labels[arc_idx]]]
-        targets = graph.neighbors[arc_idx]
-        targets = targets[dist[targets] == UNREACHABLE]
+        targets = np.unique(graph.neighbors[arc_idx])
         if len(targets) == 0:
             break
-        frontier = np.unique(targets).astype(np.int64)
+        unvisited = np.equal(dist[targets], UNREACHABLE, out=fresh[: len(targets)])
+        frontier = targets[unvisited].astype(np.int64)
+        if len(frontier) == 0:
+            break
         dist[frontier] = level
         levels.append(frontier)
     return dist, levels

@@ -1,0 +1,198 @@
+"""Shared-memory graph handoff for multi-process index construction.
+
+Pickling an :class:`~repro.graph.labeled_graph.EdgeLabeledGraph` per task
+copies the full CSR arrays into every worker on every submission.  This
+module instead exports the three CSR arrays (``indptr``, ``neighbors``,
+``edge_labels``) into ``multiprocessing.shared_memory`` blocks **once**;
+workers reconstruct zero-copy numpy views over the same physical pages, so
+task submission only ships a small picklable :class:`GraphDescriptor`.
+
+Lifecycle
+---------
+The parent calls :func:`share_graphs` and is responsible for calling
+:meth:`SharedGraphPack.close` and :meth:`SharedGraphPack.unlink` when the
+pool is done — :func:`repro.perf.parallel.run_tasks` does this in a
+``finally`` block so the blocks are released even when a worker raises.
+Workers call :func:`attach_graph` and keep the returned
+:class:`AttachedGraph` alive for as long as they use the graph (the numpy
+views borrow the shared buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..graph.labeled_graph import EdgeLabeledGraph
+
+__all__ = [
+    "ArraySpec",
+    "GraphDescriptor",
+    "SharedGraphPack",
+    "AttachedGraph",
+    "share_graphs",
+    "attach_graph",
+]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable description of one shared numpy array."""
+
+    block_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class GraphDescriptor:
+    """Everything a worker needs to reattach one graph (small, picklable)."""
+
+    indptr: ArraySpec
+    neighbors: ArraySpec
+    edge_labels: ArraySpec
+    num_labels: int
+    directed: bool
+    num_edges: int
+
+
+def _export_array(array: np.ndarray) -> tuple[shared_memory.SharedMemory, ArraySpec]:
+    """Copy ``array`` into a fresh shared-memory block."""
+    array = np.ascontiguousarray(array)
+    # SharedMemory rejects size 0; keep one byte for empty arrays and record
+    # the true shape in the spec.
+    block = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+    view[...] = array
+    return block, ArraySpec(block.name, tuple(array.shape), array.dtype.str)
+
+
+def _attach_array(spec: ArraySpec) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Zero-copy view over an exported array (worker side)."""
+    try:
+        # Python >= 3.13: opt out of resource tracking for attach-only
+        # handles; cleanup belongs to the creating process alone.
+        block = shared_memory.SharedMemory(name=spec.block_name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        # Older interpreters register the attach with the resource tracker.
+        # Pool workers share the parent's tracker process, where the name is
+        # already registered, so the extra registration is a harmless no-op
+        # and the parent's unlink() still deregisters exactly once.
+        block = shared_memory.SharedMemory(name=spec.block_name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=block.buf)
+    return block, view
+
+
+class SharedGraphPack:
+    """Parent-side owner of the shared blocks for a tuple of graphs."""
+
+    def __init__(
+        self,
+        blocks: list[shared_memory.SharedMemory],
+        descriptors: tuple[GraphDescriptor, ...],
+    ):
+        self._blocks = blocks
+        self.descriptors = descriptors
+
+    def block_names(self) -> list[str]:
+        """Names of every owned shared-memory block."""
+        return [block.name for block in self._blocks]
+
+    def close(self) -> None:
+        for block in self._blocks:
+            try:
+                block.close()
+            except OSError:  # pragma: no cover - double close is harmless
+                pass
+
+    def unlink(self) -> None:
+        for block in self._blocks:
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def release(self) -> None:
+        """Close and unlink every block (idempotent)."""
+        self.close()
+        self.unlink()
+
+
+class AttachedGraph:
+    """Worker-side graph view; keeps the shared blocks alive."""
+
+    def __init__(
+        self, graph: EdgeLabeledGraph, blocks: list[shared_memory.SharedMemory]
+    ):
+        self.graph = graph
+        self._blocks = blocks
+
+    def close(self) -> None:
+        for block in self._blocks:
+            try:
+                block.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def share_graphs(graphs: tuple[EdgeLabeledGraph, ...]) -> SharedGraphPack:
+    """Export every graph's CSR arrays into shared memory.
+
+    On failure mid-export the already-created blocks are released before
+    re-raising, so no segment can leak.
+    """
+    blocks: list[shared_memory.SharedMemory] = []
+    descriptors: list[GraphDescriptor] = []
+    try:
+        for graph in graphs:
+            specs = []
+            for array in (graph.indptr, graph.neighbors, graph.edge_labels):
+                block, spec = _export_array(array)
+                blocks.append(block)
+                specs.append(spec)
+            descriptors.append(
+                GraphDescriptor(
+                    indptr=specs[0],
+                    neighbors=specs[1],
+                    edge_labels=specs[2],
+                    num_labels=graph.num_labels,
+                    directed=graph.directed,
+                    num_edges=graph.num_edges,
+                )
+            )
+    except Exception:
+        pack = SharedGraphPack(blocks, ())
+        pack.release()
+        raise
+    return SharedGraphPack(blocks, tuple(descriptors))
+
+
+def attach_graph(descriptor: GraphDescriptor) -> AttachedGraph:
+    """Reconstruct a zero-copy :class:`EdgeLabeledGraph` in a worker.
+
+    The returned views share physical memory with the parent's export;
+    ``EdgeLabeledGraph.__init__`` keeps already-contiguous arrays of the
+    right dtype as-is, so no copy happens.
+    """
+    blocks: list[shared_memory.SharedMemory] = []
+    arrays: list[np.ndarray] = []
+    try:
+        for spec in (descriptor.indptr, descriptor.neighbors, descriptor.edge_labels):
+            block, view = _attach_array(spec)
+            blocks.append(block)
+            arrays.append(view)
+    except Exception:
+        for block in blocks:
+            block.close()
+        raise
+    graph = EdgeLabeledGraph(
+        arrays[0],
+        arrays[1],
+        arrays[2],
+        num_labels=descriptor.num_labels,
+        directed=descriptor.directed,
+        num_edges=descriptor.num_edges,
+    )
+    return AttachedGraph(graph, blocks)

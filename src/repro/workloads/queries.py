@@ -76,6 +76,7 @@ def generate_workload(
     num_pairs: int = 500,
     seed: int | None = 0,
     keep_infinite: bool = False,
+    exact_method: str = "bidirectional",
 ) -> Workload:
     """Sample the paper's workload over ``graph``.
 
@@ -87,14 +88,27 @@ def generate_workload(
     keep_infinite:
         Keep queries with ``d_C = ∞`` as well (the paper drops them; tests
         for false-positive behaviour set this to True).
+    exact_method:
+        How the ground-truth distances are computed: ``"bidirectional"``
+        (default) runs one bidirectional constrained BFS per query;
+        ``"batched"`` groups queries by constraint mask and sweeps them
+        through :func:`repro.perf.batched.batched_constrained_bfs`,
+        amortizing the CSR gathers across sources.  Both are exact, so the
+        sampled workload is identical either way.
     """
     if num_pairs < 1:
         raise ValueError("num_pairs must be positive")
+    if exact_method not in ("bidirectional", "batched"):
+        raise ValueError(f"unknown exact_method {exact_method!r}")
     rng = np.random.default_rng(seed)
     n = graph.num_vertices
     universe = full_mask(graph.num_labels)
 
-    queries: list[LabeledQuery] = []
+    # Sampling never depends on the exact distances, so the batched path
+    # can defer them: collect (s, t, mask) first, resolve distances below,
+    # and drop infinite ones afterwards — the RNG stream (and therefore the
+    # sampled workload) is the same for both methods.
+    sampled: list[tuple[int, int, int, float | None]] = []
     pairs_found = 0
     attempts = 0
     max_attempts = 200 * num_pairs
@@ -117,17 +131,33 @@ def generate_workload(
         pairs_found += 1
         for size in range(1, graph.num_labels + 1):
             mask = random_label_set(rng, graph.num_labels, size)
-            exact = (
-                float(reach[t])
-                if mask == universe
-                else bidirectional_constrained_bfs(graph, s, t, mask)
-            )
-            if math.isinf(exact) and not keep_infinite:
-                continue
-            queries.append(LabeledQuery(s, t, mask, exact))
+            if mask == universe:
+                exact: float | None = float(reach[t])
+            elif exact_method == "bidirectional":
+                exact = bidirectional_constrained_bfs(graph, s, t, mask)
+            else:
+                exact = None  # resolved by the batched sweep below
+            sampled.append((s, t, mask, exact))
     if pairs_found < num_pairs:
         raise RuntimeError(
             f"could not sample {num_pairs} connected pairs "
             f"(found {pairs_found}); is the graph mostly disconnected?"
         )
+
+    pending = [i for i, (_s, _t, _mask, exact) in enumerate(sampled) if exact is None]
+    if pending:
+        from ..perf.batched import exact_workload_distances
+
+        resolved = exact_workload_distances(
+            graph, [(sampled[i][0], sampled[i][1], sampled[i][2]) for i in pending]
+        )
+        for i, value in zip(pending, resolved):
+            s, t, mask, _ = sampled[i]
+            sampled[i] = (s, t, mask, float(value))
+
+    queries = [
+        LabeledQuery(s, t, mask, exact)
+        for s, t, mask, exact in sampled
+        if keep_infinite or not math.isinf(exact)
+    ]
     return Workload(graph=graph, queries=queries)

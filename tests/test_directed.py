@@ -45,10 +45,18 @@ def setup():
 
 
 class TestDirectedPowCov:
-    def test_rejects_non_flat_storage(self):
+    @pytest.mark.parametrize("storage", ["packed", "trie"])
+    def test_rejects_non_flat_storage(self, storage):
+        # Documented in the PowCovIndex docstring: directed graphs keep a
+        # reversed-graph table that only the flat layout serves, so the
+        # restriction must surface at construction time for both layouts.
         graph = directed_random(seed=1)
         with pytest.raises(ValueError, match="flat"):
-            PowCovIndex(graph, [0], storage="trie")
+            PowCovIndex(graph, [0], storage=storage)
+
+    def test_flat_storage_accepted(self):
+        graph = directed_random(seed=1)
+        PowCovIndex(graph, [0], storage="flat")  # must not raise
 
     def test_landmark_distance_both_directions(self, setup):
         graph, landmarks, powcov, _ = setup

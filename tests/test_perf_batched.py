@@ -1,0 +1,151 @@
+"""Tests for the batched multi-source BFS kernel and the label-filter cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import labeled_erdos_renyi, labeled_grid
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.traversal import constrained_bfs, label_filter
+from repro.perf.batched import batched_constrained_bfs, exact_workload_distances
+from repro.workloads import generate_workload
+
+
+def directed_random(n=45, m=160, labels=4, seed=0) -> EdgeLabeledGraph:
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < m:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v:
+            edges.add((u, v, int(rng.integers(labels))))
+    return EdgeLabeledGraph.from_edges(
+        n, sorted(edges), num_labels=labels, directed=True
+    )
+
+
+class TestLabelFilterCache:
+    def test_matches_per_label_bit_test(self):
+        graph = labeled_erdos_renyi(30, 70, num_labels=5, seed=0)
+        for mask in range(0, 1 << graph.num_labels):
+            expected = np.array(
+                [bool(mask & (1 << label)) for label in range(graph.num_labels)]
+            )
+            assert np.array_equal(label_filter(graph, mask), expected)
+
+    def test_memoized_per_graph_and_mask(self):
+        graph = labeled_erdos_renyi(30, 70, num_labels=4, seed=1)
+        other = labeled_erdos_renyi(30, 70, num_labels=4, seed=2)
+        assert label_filter(graph, 5) is label_filter(graph, 5)
+        assert label_filter(graph, 5) is not label_filter(other, 5)
+        assert label_filter(graph, 5) is not label_filter(graph, 6)
+
+    def test_constrained_bfs_reuses_cached_table(self):
+        graph = labeled_erdos_renyi(40, 100, num_labels=4, seed=3)
+        constrained_bfs(graph, 0, 5)
+        cached = graph._label_filter_cache[5]
+        constrained_bfs(graph, 7, 5)
+        assert graph._label_filter_cache[5] is cached
+
+
+class TestBatchedConstrainedBFS:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rows_match_single_source(self, seed):
+        graph = labeled_erdos_renyi(70, 220, num_labels=4, seed=seed)
+        rng = np.random.default_rng(seed)
+        sources = rng.integers(0, graph.num_vertices, size=8)
+        universe = (1 << graph.num_labels) - 1
+        masks = [int(m) for m in rng.integers(1, universe + 1, size=8)]
+        batch = batched_constrained_bfs(graph, sources, masks=masks)
+        assert batch.shape == (8, graph.num_vertices)
+        for i, (s, m) in enumerate(zip(sources, masks)):
+            assert np.array_equal(batch[i], constrained_bfs(graph, int(s), m))
+
+    def test_shared_mask(self):
+        graph = labeled_grid(6, 6, num_labels=3)
+        sources = [0, 5, 17, 35]
+        batch = batched_constrained_bfs(graph, sources, mask=3)
+        for i, s in enumerate(sources):
+            assert np.array_equal(batch[i], constrained_bfs(graph, s, 3))
+
+    def test_none_mask_means_all_labels(self):
+        graph = labeled_erdos_renyi(40, 120, num_labels=3, seed=5)
+        universe = (1 << graph.num_labels) - 1
+        batch = batched_constrained_bfs(graph, [0, 1])
+        assert np.array_equal(batch[0], constrained_bfs(graph, 0, universe))
+
+    def test_directed(self):
+        graph = directed_random(seed=7)
+        sources = [0, 10, 20, 30]
+        masks = [1, 3, 7, 5]
+        batch = batched_constrained_bfs(graph, sources, masks=masks)
+        for i, (s, m) in enumerate(zip(sources, masks)):
+            assert np.array_equal(batch[i], constrained_bfs(graph, s, m))
+
+    def test_duplicate_sources_are_independent_rows(self):
+        graph = labeled_erdos_renyi(40, 120, num_labels=3, seed=9)
+        batch = batched_constrained_bfs(graph, [4, 4], masks=[1, 7])
+        assert np.array_equal(batch[0], constrained_bfs(graph, 4, 1))
+        assert np.array_equal(batch[1], constrained_bfs(graph, 4, 7))
+
+    def test_empty_sources(self):
+        graph = labeled_erdos_renyi(20, 40, num_labels=2, seed=0)
+        batch = batched_constrained_bfs(graph, [])
+        assert batch.shape == (0, graph.num_vertices)
+
+    def test_source_out_of_range(self):
+        graph = labeled_erdos_renyi(20, 40, num_labels=2, seed=0)
+        with pytest.raises(ValueError, match="range"):
+            batched_constrained_bfs(graph, [25])
+
+    def test_masks_length_mismatch(self):
+        graph = labeled_erdos_renyi(20, 40, num_labels=2, seed=0)
+        with pytest.raises(ValueError, match="parallel"):
+            batched_constrained_bfs(graph, [1, 2], masks=[1])
+
+    def test_zero_mask_reaches_nothing(self):
+        graph = labeled_erdos_renyi(20, 40, num_labels=2, seed=0)
+        batch = batched_constrained_bfs(graph, [3], masks=[0])
+        assert batch[0, 3] == 0
+        assert (batch[0] == -1).sum() == graph.num_vertices - 1
+
+
+class TestExactWorkloadDistances:
+    def test_matches_per_query_bfs(self):
+        graph = labeled_erdos_renyi(50, 150, num_labels=3, seed=11)
+        rng = np.random.default_rng(0)
+        universe = (1 << graph.num_labels) - 1
+        queries = [
+            (
+                int(rng.integers(graph.num_vertices)),
+                int(rng.integers(graph.num_vertices)),
+                int(rng.integers(1, universe + 1)),
+            )
+            for _ in range(40)
+        ]
+        got = exact_workload_distances(graph, queries, batch_size=4)
+        for (s, t, mask), value in zip(queries, got):
+            dist = constrained_bfs(graph, s, mask)
+            expected = float(dist[t]) if dist[t] >= 0 else float("inf")
+            assert value == expected
+
+    def test_generate_workload_batched_identical(self):
+        graph = labeled_erdos_renyi(60, 170, num_labels=4, seed=13)
+        default = generate_workload(graph, num_pairs=25, seed=5)
+        batched = generate_workload(
+            graph, num_pairs=25, seed=5, exact_method="batched"
+        )
+        assert default.queries == batched.queries
+
+    def test_generate_workload_batched_keep_infinite(self):
+        graph = labeled_erdos_renyi(60, 170, num_labels=4, seed=13)
+        default = generate_workload(graph, num_pairs=10, seed=3, keep_infinite=True)
+        batched = generate_workload(
+            graph, num_pairs=10, seed=3, keep_infinite=True, exact_method="batched"
+        )
+        assert default.queries == batched.queries
+
+    def test_generate_workload_rejects_unknown_method(self):
+        graph = labeled_erdos_renyi(20, 50, num_labels=2, seed=0)
+        with pytest.raises(ValueError, match="exact_method"):
+            generate_workload(graph, num_pairs=2, seed=0, exact_method="psychic")
