@@ -4,7 +4,6 @@ nearest-neighbors, directed and weighted PowCov."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.nearest import constrained_nearest, rank_candidates
 from repro.core.powcov import PowCovIndex, WeightedPowCovIndex

@@ -7,7 +7,6 @@ in ``extra_info`` and asserts the paper's headline orderings.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import BidirectionalBFSBaseline, LabelConstrainedCH
 from repro.core.naive import NaivePowersetIndex

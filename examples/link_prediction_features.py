@@ -21,7 +21,6 @@ Run with::
 
 from __future__ import annotations
 
-import math
 import time
 
 import numpy as np

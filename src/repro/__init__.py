@@ -20,6 +20,12 @@ Indexes::
     landmarks = select_landmarks(graph, k=16)
     oracle = PowCovIndex(graph, landmarks).build()
 
+Serving::
+
+    from repro import QuerySession
+    session = QuerySession(oracle, cache_size=8192)
+    answers = session.run([(source, target, mask), ...])
+
 Experiments::
 
     python -m repro.eval.cli all
@@ -52,6 +58,7 @@ from .core import (
     save_powcov,
 )
 from .core.chromland import local_search_selection, random_selection
+from .engine import EngineConfig, QuerySession, execute_batch
 from .graph import (
     EdgeLabeledGraph,
     GraphBuilder,
@@ -93,6 +100,9 @@ __all__ = [
     "save_chromland",
     "save_powcov",
     "random_selection",
+    "EngineConfig",
+    "QuerySession",
+    "execute_batch",
     "EdgeLabeledGraph",
     "GraphBuilder",
     "LabelUniverse",

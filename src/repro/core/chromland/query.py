@@ -18,11 +18,19 @@ variant with vectorized relaxation beats heap-based implementations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ...graph.traversal import UNREACHABLE
 
-__all__ = ["simple_triangle_distance", "auxiliary_graph_distance"]
+__all__ = [
+    "simple_triangle_distance",
+    "auxiliary_graph_distance",
+    "AuxiliaryPlan",
+    "prepare_auxiliary",
+    "auxiliary_distance_from_plan",
+]
 
 _INF = np.float64(np.inf)
 
@@ -86,24 +94,61 @@ def auxiliary_graph_distance(
     dt = mono[usable, target].astype(np.float64)
     ds[ds == UNREACHABLE] = _INF
     dt[dt == UNREACHABLE] = _INF
+    return auxiliary_distance_from_plan(prepare_auxiliary(bi, colors, usable), ds, dt)
 
-    # Fast exits: the best single-landmark bound may already be optimal
-    # when only one usable color exists (no bi-chromatic edges help).
-    best_single = float((ds + dt).min()) if k else float("inf")
+
+@dataclass(frozen=True)
+class AuxiliaryPlan:
+    """Endpoint-independent part of a Theorem 5 evaluation.
+
+    Everything here depends only on the query's *constraint mask* (through
+    ``usable``), not its endpoints, so one plan serves every query in a
+    same-mask batch — the amortization the query engine exploits.
+    ``weights`` is ``None`` when at most one usable color exists (the
+    single-landmark bound is then already optimal and no Dijkstra runs).
+    """
+
+    usable: np.ndarray
+    weights: np.ndarray | None
+
+
+def prepare_auxiliary(
+    bi: np.ndarray, colors: np.ndarray, usable: np.ndarray
+) -> AuxiliaryPlan:
+    """Build the dense masked adjacency among ``usable`` landmarks once."""
     usable_colors = colors[usable]
     if len(np.unique(usable_colors)) <= 1:
-        return best_single
-
+        return AuxiliaryPlan(usable=usable, weights=None)
     # Dense adjacency among usable landmarks (inf where no edge).
     weights = bi[np.ix_(usable, usable)].astype(np.float64)
     weights[weights == UNREACHABLE] = _INF
     same_color = usable_colors[:, None] == usable_colors[None, :]
     weights[same_color] = _INF
+    return AuxiliaryPlan(usable=usable, weights=weights)
+
+
+def auxiliary_distance_from_plan(
+    plan: AuxiliaryPlan, ds: np.ndarray, dt: np.ndarray
+) -> float:
+    """Theorem 5 evaluation given a prepared plan and endpoint legs.
+
+    ``ds`` / ``dt`` are the source/target legs over ``plan.usable`` with
+    ``inf`` for unreachable (i.e. already sentinel-converted).
+    """
+    k = len(plan.usable)
+    if k == 0:
+        return float("inf")
+    # Fast exits: the best single-landmark bound may already be optimal
+    # when only one usable color exists (no bi-chromatic edges help).
+    best_single = float((ds + dt).min())
+    if plan.weights is None:
+        return best_single
 
     # O(k^2) Dijkstra from the virtual source node: initialize landmark
     # tentative distances with the s—x edges, repeatedly settle the
     # nearest landmark, relax through its bi-chromatic row, and keep the
     # running best completion through the t—x edges.
+    weights = plan.weights
     dist = ds.copy()
     settled = np.zeros(k, dtype=bool)
     best = best_single

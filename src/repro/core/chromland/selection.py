@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
-from ...graph.traversal import UNREACHABLE, constrained_bfs
+from ...graph.traversal import constrained_bfs
 
 __all__ = [
     "ChromLandSelection",

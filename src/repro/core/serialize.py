@@ -40,20 +40,56 @@ __all__ = [
 ]
 
 
+_FNV_OFFSET = 1469598103934665603
+_FNV_PRIME = 1099511628211
+#: at most this many strided samples are folded in per CSR array.
+_FINGERPRINT_SAMPLES = 1024
+
+
+def _fold(acc: int, value: int) -> int:
+    return ((acc ^ (int(value) & ((1 << 64) - 1))) * _FNV_PRIME) % (1 << 63)
+
+
+def _fold_array(acc: int, array: np.ndarray) -> int:
+    """FNV-fold a strided content sample of ``array`` into ``acc``.
+
+    Up to :data:`_FINGERPRINT_SAMPLES` evenly spaced elements (always
+    including the first and last) are hashed individually, so two graphs
+    with identical summary counts but different adjacency or labeling
+    content fingerprint differently — a pure checksum-of-sums would let
+    permuted arrays collide.
+    """
+    n = len(array)
+    acc = _fold(acc, n)
+    if n == 0:
+        return acc
+    stride = max(1, n // _FINGERPRINT_SAMPLES)
+    sample = array[::stride]
+    for value in np.asarray(sample, dtype=np.int64).tolist():
+        acc = _fold(acc, value)
+    return _fold(acc, int(array[-1]))
+
+
 def graph_fingerprint(graph: EdgeLabeledGraph) -> np.int64:
-    """Cheap structural hash binding an index file to its graph."""
-    acc = np.int64(1469598103934665603)  # FNV-ish over summary stats
+    """Content hash binding an index file to its graph.
+
+    Folds the summary counts *and* a strided FNV sample of the CSR arrays
+    (``indptr``, ``neighbors``, ``edge_labels``), so graphs that merely
+    share sizes — or permute edges/labels — are told apart.
+    """
+    acc = _FNV_OFFSET
     for value in (
         graph.num_vertices,
         graph.num_edges,
         graph.num_labels,
         int(graph.directed),
         int(graph.indptr[-1]),
-        int(graph.neighbors[:64].sum()) if graph.num_arcs else 0,
-        int(graph.edge_labels[:64].sum()) if graph.num_arcs else 0,
     ):
-        acc = np.int64((int(acc) ^ int(value)) * 1099511628211 % (1 << 63))
-    return acc
+        acc = _fold(acc, value)
+    acc = _fold_array(acc, graph.indptr)
+    acc = _fold_array(acc, graph.neighbors)
+    acc = _fold_array(acc, graph.edge_labels)
+    return np.int64(acc)
 
 
 def _entries_to_arrays(per_landmark: list[LandmarkSPMinimal]):

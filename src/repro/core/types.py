@@ -89,7 +89,19 @@ class DistanceOracle(ABC):
         return self.query(source, target, self.graph.mask(labels))
 
     def batch_query(self, queries: Sequence[Query]) -> list[float]:
-        """Answer a sequence of queries; subclasses may batch smarter."""
+        """Answer a batch through the vectorized engine path.
+
+        Delegates to :func:`repro.engine.execute_batch`, which plans the
+        batch (grouping by label mask) and runs each group through the
+        oracle's executor.  Results are bit-identical to
+        :meth:`batch_query_scalar`, the per-call reference path.
+        """
+        from ..engine import execute_batch  # local: core must not cycle on engine
+
+        return execute_batch(self, queries)
+
+    def batch_query_scalar(self, queries: Sequence[Query]) -> list[float]:
+        """Reference path: one scalar :meth:`query` per batch entry."""
         return [self.query(q.source, q.target, q.label_mask) for q in queries]
 
     # ------------------------------------------------------------------

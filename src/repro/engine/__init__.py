@@ -1,0 +1,68 @@
+"""repro.engine — the batch-native query-execution layer.
+
+The scalar ``oracle.query(s, t, mask)`` path answers one triple at a
+time; serving-side traffic arrives in batches and streams whose masks
+repeat heavily.  This package turns any oracle into a batch server:
+
+* :mod:`repro.engine.plan` groups a batch by constraint mask;
+* :mod:`repro.engine.executors` evaluates each mask group vectorized
+  (PowCov: one packed subset-sweep per group; ChromLand: one usable
+  filter + auxiliary adjacency per mask; naive: stacked gathers;
+  everything else: the trivial scalar-loop adapter);
+* :mod:`repro.engine.session` adds the LRU answer cache, the per-mask
+  plan cache, and batching over streams;
+* :mod:`repro.engine.instrument` provides the counters and stage timers
+  every session exposes.
+
+The engine's invariant — asserted by ``tests/test_engine.py`` — is that
+batch answers are **bit-identical** to the scalar loop for every oracle,
+with caches on or off.  Quickstart::
+
+    from repro.engine import QuerySession
+
+    session = QuerySession(oracle, cache_size=8192)
+    answers = session.run([(s1, t1, mask1), (s2, t2, mask2)])
+    print(session.format_stats())
+"""
+
+from .config import EngineConfig, default_engine, resolve_engine, set_default_engine
+from .executors import (
+    ChromLandExecutor,
+    NaiveExecutor,
+    OracleExecutor,
+    PowCovExecutor,
+    ScalarLoopExecutor,
+    executor_for,
+)
+from .instrument import (
+    Instrumentation,
+    format_stats,
+    global_snapshot,
+    merge_global,
+    reset_global,
+)
+from .plan import ExecutionPlan, MaskGroup, plan_batch
+from .session import QuerySession, execute_batch
+
+__all__ = [
+    "EngineConfig",
+    "default_engine",
+    "resolve_engine",
+    "set_default_engine",
+    "OracleExecutor",
+    "ScalarLoopExecutor",
+    "PowCovExecutor",
+    "ChromLandExecutor",
+    "NaiveExecutor",
+    "executor_for",
+    "Instrumentation",
+    "format_stats",
+    "global_snapshot",
+    "merge_global",
+    "reset_global",
+    "ExecutionPlan",
+    "MaskGroup",
+    "plan_batch",
+    "QuerySession",
+    "execute_batch",
+]

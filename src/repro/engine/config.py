@@ -1,0 +1,45 @@
+"""Process-wide engine defaults, mirroring ``repro.perf.parallel``.
+
+The evaluation harness (``evaluate_oracle`` / ``time_oracle`` and the
+table regenerators above them) consults :func:`default_engine` whenever a
+caller passes ``engine=None``, so one CLI flag (``--engine``) flips the
+whole experiment pipeline onto the batch path without threading a
+parameter through every layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig", "set_default_engine", "default_engine", "resolve_engine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the evaluation harness should execute queries."""
+
+    enabled: bool = False
+    cache_size: int = 4096
+    plan_cache_size: int = 128
+
+
+_DEFAULT = EngineConfig()
+
+
+def set_default_engine(config: EngineConfig | None) -> None:
+    """Install the process-wide default (``None`` restores scalar mode)."""
+    global _DEFAULT
+    _DEFAULT = config if config is not None else EngineConfig()
+
+
+def default_engine() -> EngineConfig:
+    return _DEFAULT
+
+
+def resolve_engine(engine: "EngineConfig | bool | None") -> EngineConfig:
+    """Normalize an ``engine`` argument: None -> default, bool -> config."""
+    if engine is None:
+        return _DEFAULT
+    if isinstance(engine, bool):
+        return EngineConfig(enabled=engine)
+    return engine

@@ -1,0 +1,398 @@
+"""Per-oracle batch executors: the vectorized counterparts of ``query``.
+
+An executor answers one :class:`~repro.engine.plan.MaskGroup` at a time.
+The contract, asserted by the engine property tests, is **bit-identical
+output**: for every oracle and every query, the executor's float equals
+``oracle.query(s, t, mask)`` exactly (including ``inf``).  Executors are
+therefore *reorganizations* of the scalar arithmetic — same lookups, same
+additions, same minima — with the per-mask work hoisted out of the per-
+query loop:
+
+* :class:`PowCovExecutor` packs the flat SP-minimal tables into CSR-style
+  numpy arrays once, then resolves the Theorem 1 reconstruction for *all*
+  unique endpoints of a mask group in one subset-filter sweep; per-vertex
+  landmark rows are cached on the mask plan so repeated-mask streams never
+  re-scan a vertex's entries.
+* :class:`ChromLandExecutor` computes the usable-landmark filter and (for
+  the Theorem 5 strategy) the masked auxiliary adjacency once per mask,
+  then evaluates every pair in the group against the shared plan; the
+  Proposition 2 strategy vectorizes across the whole group.
+* :class:`NaiveExecutor` stacks the per-landmark exact distance vectors of
+  the group's mask into one ``(k, n)`` matrix and answers the group with
+  two gathers and a min-reduction.
+* :class:`ScalarLoopExecutor` is the trivial adapter: a plain loop over
+  ``oracle.query``.  Baselines (bidirectional BFS, the Rice–Tsotras CH)
+  and any unknown oracle run through it, so engine-vs-engine comparisons
+  stay apples-to-apples even when one side has no batchable structure.
+
+``executor_for`` picks the executor; oracles can override the choice by
+defining ``make_batch_executor()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.chromland import ChromLandIndex
+from ..core.chromland.query import (
+    AuxiliaryPlan,
+    auxiliary_distance_from_plan,
+    prepare_auxiliary,
+)
+from ..core.naive import NaivePowersetIndex
+from ..core.powcov import PowCovIndex
+from ..core.types import INF, DistanceOracle
+from ..graph.traversal import UNREACHABLE
+from .plan import MaskGroup
+
+__all__ = [
+    "OracleExecutor",
+    "ScalarLoopExecutor",
+    "PowCovExecutor",
+    "ChromLandExecutor",
+    "NaiveExecutor",
+    "executor_for",
+]
+
+
+class OracleExecutor:
+    """Base class: mask-plan preparation + group execution."""
+
+    def __init__(self, oracle: DistanceOracle):
+        self.oracle = oracle
+
+    def prepare_mask(self, label_mask: int):
+        """Build the reusable per-mask state (cached by the session)."""
+        return label_mask
+
+    def execute_group(self, mask_plan, group: MaskGroup) -> np.ndarray:
+        """Answer every query of ``group`` (float64, ``inf`` = unreachable)."""
+        raise NotImplementedError
+
+
+class ScalarLoopExecutor(OracleExecutor):
+    """The reference path as an executor: one ``oracle.query`` per query."""
+
+    def execute_group(self, mask_plan, group: MaskGroup) -> np.ndarray:
+        query = self.oracle.query
+        mask = group.label_mask
+        out = np.empty(len(group), dtype=np.float64)
+        for i, (s, t) in enumerate(zip(group.sources, group.targets)):
+            out[i] = query(int(s), int(t), mask)
+        return out
+
+
+# ----------------------------------------------------------------------
+# PowCov
+# ----------------------------------------------------------------------
+class _PackedView:
+    """CSR-packed view of flat SP-minimal tables, for vectorized probes.
+
+    Rebuild of :meth:`PowCovIndex._build_packed` usable for *any* storage
+    layout (every layout retains the flat per-landmark dicts) and for the
+    reversed-graph tables of a directed index.  Distances are float64 so
+    weighted indexes round-trip exactly.
+    """
+
+    __slots__ = ("offsets", "dist", "mask", "landmark", "k")
+
+    def __init__(self, flat: list[dict[int, list[tuple]]], num_vertices: int):
+        self.k = len(flat)
+        total = sum(len(pairs) for entries in flat for pairs in entries.values())
+        vertex = np.empty(total, dtype=np.int64)
+        dist = np.empty(total, dtype=np.float64)
+        mask = np.empty(total, dtype=np.int64)
+        landmark = np.empty(total, dtype=np.int32)
+        pos = 0
+        for i, entries in enumerate(flat):
+            for u, pairs in entries.items():
+                for d, m in pairs:
+                    vertex[pos] = u
+                    dist[pos] = d
+                    mask[pos] = m
+                    landmark[pos] = i
+                    pos += 1
+        order = np.lexsort((dist, vertex))
+        vertex = vertex[order]
+        self.dist = dist[order]
+        self.mask = mask[order]
+        self.landmark = landmark[order]
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(offsets, vertex + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        self.offsets = offsets
+
+    def lookup_many(self, vertices: np.ndarray, label_mask: int) -> np.ndarray:
+        """``d_C(x, u)`` for every landmark × every vertex in one sweep.
+
+        Returns a ``(len(vertices), k)`` float64 matrix with ``inf`` where
+        no stored label set is a subset of ``label_mask``.  Entries within
+        a vertex are distance-sorted, so the first surviving entry per
+        ``(vertex, landmark)`` (via ``np.unique`` first-occurrence
+        semantics) is the Theorem 1 minimum — exactly the scalar scan.
+        """
+        out = np.full((len(vertices), self.k), INF, dtype=np.float64)
+        lo = self.offsets[vertices]
+        counts = self.offsets[vertices + 1] - lo
+        total = int(counts.sum())
+        if total == 0:
+            return out
+        # Flat entry indices of every vertex's slice, concatenated.
+        starts = np.repeat(lo, counts)
+        within = np.arange(total, dtype=np.int64)
+        within -= np.repeat(np.cumsum(counts) - counts, counts)
+        idx = starts + within
+        rows = np.repeat(np.arange(len(vertices), dtype=np.int64), counts)
+        masks = self.mask[idx]
+        ok = (masks & label_mask) == masks
+        if not ok.any():
+            return out
+        rows = rows[ok]
+        landmarks = self.landmark[idx][ok]
+        dists = self.dist[idx][ok]
+        keys = rows * self.k + landmarks
+        first_keys, first_pos = np.unique(keys, return_index=True)
+        out[first_keys // self.k, first_keys % self.k] = dists[first_pos]
+        return out
+
+
+class _RowCache:
+    """Resolved per-vertex landmark rows for one (mask, table) pair.
+
+    Rows live in one doubling-capacity matrix so group assembly is a
+    single fancy-index gather; ``row_of`` maps vertex id to matrix row.
+    """
+
+    __slots__ = ("row_of", "data", "size")
+
+    def __init__(self, k: int):
+        self.row_of: dict[int, int] = {}
+        self.data = np.empty((16, k), dtype=np.float64)
+        self.size = 0
+
+    def append(self, table: np.ndarray, vertices: list[int]) -> None:
+        need = self.size + len(table)
+        if need > len(self.data):
+            grown = np.empty((max(need, 2 * len(self.data)), self.data.shape[1]))
+            grown[: self.size] = self.data[: self.size]
+            self.data = grown
+        self.data[self.size:need] = table
+        for offset, u in enumerate(vertices):
+            self.row_of[u] = self.size + offset
+        self.size = need
+
+
+class _PowCovMaskPlan:
+    """Per-mask state: resolved per-vertex landmark rows, grown lazily."""
+
+    __slots__ = ("label_mask", "rows", "rows_reverse")
+
+    def __init__(self, label_mask: int, k: int, directed: bool):
+        self.label_mask = label_mask
+        self.rows = _RowCache(k)
+        self.rows_reverse = _RowCache(k) if directed else None
+
+
+class PowCovExecutor(OracleExecutor):
+    """Vectorized Theorem 1 + triangle inequality over mask groups."""
+
+    def __init__(self, oracle: PowCovIndex):
+        super().__init__(oracle)
+        oracle._require_built()  # noqa: SLF001 - engine is a friend module
+        n = oracle.graph.num_vertices
+        self._forward = _PackedView(oracle._flat, n)  # noqa: SLF001
+        self._reverse = (
+            _PackedView(oracle._flat_reverse, n)  # noqa: SLF001
+            if oracle.graph.directed
+            else None
+        )
+        self._landmark_index_of = dict(oracle._landmark_index_of)  # noqa: SLF001
+
+    def prepare_mask(self, label_mask: int) -> _PowCovMaskPlan:
+        return _PowCovMaskPlan(
+            label_mask, len(self.oracle.landmarks), self._reverse is not None
+        )
+
+    def _gather(
+        self,
+        label_mask: int,
+        unique_vertices: np.ndarray,
+        view: _PackedView,
+        cache: _RowCache,
+    ) -> np.ndarray:
+        """Landmark rows for ``unique_vertices``, resolving any new ones."""
+        row_of = cache.row_of
+        missing = [u for u in unique_vertices.tolist() if u not in row_of]
+        if missing:
+            table = view.lookup_many(np.asarray(missing, dtype=np.int64), label_mask)
+            for offset, u in enumerate(missing):
+                own = self._landmark_index_of.get(u)
+                if own is not None:
+                    table[offset, own] = 0.0
+            cache.append(table, missing)
+        idx = np.fromiter(
+            (row_of[u] for u in unique_vertices.tolist()),
+            dtype=np.int64, count=len(unique_vertices),
+        )
+        return cache.data[idx]
+
+    def execute_group(self, plan: _PowCovMaskPlan, group: MaskGroup) -> np.ndarray:
+        out = np.empty(len(group), dtype=np.float64)
+        same = group.sources == group.targets
+        out[same] = 0.0
+        live = ~same
+        if plan.label_mask == 0:
+            out[live] = INF
+            return out
+        if not live.any():
+            return out
+        sources = group.sources[live]
+        targets = group.targets[live]
+        mask = plan.label_mask
+        if self._reverse is not None:
+            # Directed estimate: min_x d_C(s → x) + d_C(x → t); the s-leg
+            # comes from the reversed-graph tables.
+            su, s_inv = np.unique(sources, return_inverse=True)
+            tu, t_inv = np.unique(targets, return_inverse=True)
+            ds = self._gather(mask, su, self._reverse, plan.rows_reverse)[s_inv]
+            dt = self._gather(mask, tu, self._forward, plan.rows)[t_inv]
+        else:
+            endpoints, inverse = np.unique(
+                np.concatenate([sources, targets]), return_inverse=True
+            )
+            matrix = self._gather(mask, endpoints, self._forward, plan.rows)
+            ds = matrix[inverse[: len(sources)]]
+            dt = matrix[inverse[len(sources):]]
+        sums = ds + dt
+        if self.oracle.estimator == "median":
+            estimates = np.empty(len(sums), dtype=np.float64)
+            for i, row in enumerate(sums):
+                finite = row[np.isfinite(row)]
+                if len(finite) == 0:
+                    estimates[i] = INF
+                else:
+                    finite.sort()
+                    estimates[i] = finite[len(finite) // 2]
+        else:
+            estimates = sums.min(axis=1)
+        out[live] = estimates
+        return out
+
+
+# ----------------------------------------------------------------------
+# ChromLand
+# ----------------------------------------------------------------------
+class _ChromLandMaskPlan:
+    __slots__ = ("label_mask", "usable", "auxiliary")
+
+    def __init__(self, label_mask: int, usable: np.ndarray,
+                 auxiliary: AuxiliaryPlan | None):
+        self.label_mask = label_mask
+        self.usable = usable
+        #: prepared Theorem 5 plan (``None`` in "simple" query mode).
+        self.auxiliary = auxiliary
+
+
+class ChromLandExecutor(OracleExecutor):
+    """Shared usable-filter + auxiliary adjacency per mask group."""
+
+    def __init__(self, oracle: ChromLandIndex):
+        super().__init__(oracle)
+        oracle._require_built()  # noqa: SLF001 - engine is a friend module
+
+    def prepare_mask(self, label_mask: int) -> _ChromLandMaskPlan:
+        oracle = self.oracle
+        usable = np.nonzero((oracle._color_bits & label_mask) != 0)[0]  # noqa: SLF001
+        auxiliary = None
+        if len(usable) and oracle.query_mode == "auxiliary":
+            auxiliary = prepare_auxiliary(oracle.bi, oracle.colors, usable)
+        return _ChromLandMaskPlan(label_mask, usable, auxiliary)
+
+    def execute_group(self, plan: _ChromLandMaskPlan, group: MaskGroup) -> np.ndarray:
+        out = np.empty(len(group), dtype=np.float64)
+        same = group.sources == group.targets
+        out[same] = 0.0
+        live = ~same
+        if plan.label_mask == 0 or len(plan.usable) == 0:
+            out[live] = INF
+            return out
+        if not live.any():
+            return out
+        oracle = self.oracle
+        sources = group.sources[live]
+        targets = group.targets[live]
+        source_table = oracle.mono if oracle.mono_in is None else oracle.mono_in
+        # (k_usable, g) legs for the whole group, sentinel-converted once.
+        ds = source_table[np.ix_(plan.usable, sources)].astype(np.float64)
+        dt = oracle.mono[np.ix_(plan.usable, targets)].astype(np.float64)
+        ds[ds == UNREACHABLE] = INF
+        dt[dt == UNREACHABLE] = INF
+        if oracle.query_mode == "simple":
+            out[live] = (ds + dt).min(axis=0)
+        else:
+            estimates = np.empty(ds.shape[1], dtype=np.float64)
+            for i in range(ds.shape[1]):
+                estimates[i] = auxiliary_distance_from_plan(
+                    plan.auxiliary, ds[:, i], dt[:, i]
+                )
+            out[live] = estimates
+        return out
+
+
+# ----------------------------------------------------------------------
+# Naive powerset
+# ----------------------------------------------------------------------
+class NaiveExecutor(OracleExecutor):
+    """Stacked exact-distance matrix per mask; two gathers per group."""
+
+    def __init__(self, oracle: NaivePowersetIndex):
+        super().__init__(oracle)
+        oracle._require_built()  # noqa: SLF001 - engine is a friend module
+
+    def prepare_mask(self, label_mask: int) -> np.ndarray | None:
+        if label_mask == 0:
+            return None
+        tables = self.oracle._distances  # noqa: SLF001 - engine is a friend
+        return np.stack([per_mask[label_mask] for per_mask in tables])
+
+    def execute_group(self, mask_plan, group: MaskGroup) -> np.ndarray:
+        out = np.empty(len(group), dtype=np.float64)
+        same = group.sources == group.targets
+        out[same] = 0.0
+        live = ~same
+        if mask_plan is None:  # the empty constraint set
+            out[live] = INF
+            return out
+        if not live.any():
+            return out
+        ds = mask_plan[:, group.sources[live]].astype(np.float64)
+        dt = mask_plan[:, group.targets[live]].astype(np.float64)
+        ds[ds == UNREACHABLE] = INF
+        dt[dt == UNREACHABLE] = INF
+        out[live] = (ds + dt).min(axis=0)
+        return out
+
+
+def executor_for(oracle: DistanceOracle) -> OracleExecutor:
+    """Pick the batch executor for ``oracle`` (scalar loop as fallback).
+
+    The PowCov executor packs the whole flat table at construction, so it
+    is memoized on the oracle instance; the memo is keyed on the identity
+    of ``_flat`` so a rebuilt index gets a fresh executor.  The other
+    executors read the oracle's tables live and are cheap to construct.
+    """
+    maker = getattr(oracle, "make_batch_executor", None)
+    if maker is not None:
+        return maker()
+    if isinstance(oracle, PowCovIndex):
+        cached = oracle.__dict__.get("_engine_executor")
+        if cached is not None and cached[0] is oracle._flat:  # noqa: SLF001
+            return cached[1]
+        executor = PowCovExecutor(oracle)
+        oracle._engine_executor = (oracle._flat, executor)  # noqa: SLF001
+        return executor
+    if isinstance(oracle, ChromLandIndex):
+        return ChromLandExecutor(oracle)
+    if isinstance(oracle, NaivePowersetIndex):
+        return NaiveExecutor(oracle)
+    return ScalarLoopExecutor(oracle)

@@ -1,0 +1,144 @@
+"""Cheap counters and stage timers for the query-execution engine.
+
+Every :class:`~repro.engine.session.QuerySession` owns one
+:class:`Instrumentation`; the engine's hot paths only ever pay a dict
+increment or one ``perf_counter`` pair per *stage* (never per query), so
+instrumentation stays on in production.
+
+Counter glossary (see also docs/ALGORITHMS.md):
+
+``queries``
+    Queries submitted to the session (scalar + batch).
+``cache_hits`` / ``cache_misses``
+    Answer-cache (``(s, t, mask)`` LRU) outcomes.
+``cache_evictions``
+    Answers dropped because the LRU exceeded ``cache_size``.
+``executed``
+    Queries that reached an executor (i.e. the misses actually computed).
+``batches`` / ``groups``
+    ``run()`` invocations and mask groups executed across them.
+``masks_planned``
+    Distinct masks for which a mask plan was *built* (plan-cache misses).
+``plan_cache_hits``
+    Mask groups served from the per-mask plan cache.
+
+Timer glossary (seconds, cumulative):
+
+``plan_seconds``    time spent grouping batches by mask;
+``execute_seconds`` time spent inside executors;
+``total_seconds``   wall time of ``run()`` calls end to end.
+
+A process-wide aggregate (:func:`merge_global` / :func:`global_snapshot`)
+lets the CLI report engine activity accumulated across all the sessions an
+experiment created.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "Instrumentation",
+    "merge_global",
+    "global_snapshot",
+    "reset_global",
+    "format_stats",
+]
+
+_COUNTER_ORDER = (
+    "queries",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "executed",
+    "batches",
+    "groups",
+    "masks_planned",
+    "plan_cache_hits",
+)
+_TIMER_ORDER = ("plan_seconds", "execute_seconds", "total_seconds")
+
+
+class Instrumentation:
+    """A bundle of named integer counters and cumulative stage timers."""
+
+    __slots__ = ("counters", "seconds")
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        self.seconds: dict[str, float] = {}
+
+    def count(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def add_seconds(self, name: str, value: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + value
+
+    @contextmanager
+    def timed(self, name: str):
+        """Accumulate the wall time of the enclosed block under ``name``."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, perf_counter() - started)
+
+    def merge(self, other: "Instrumentation") -> None:
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.seconds.items():
+            self.add_seconds(name, value)
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters and timers flattened into one plain dict."""
+        out: dict[str, float] = dict(self.counters)
+        out.update(self.seconds)
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.counters.get("cache_hits", 0)
+        total = hits + self.counters.get("cache_misses", 0)
+        return hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"Instrumentation({self.snapshot()!r})"
+
+
+def format_stats(instr: Instrumentation, title: str = "engine stats") -> str:
+    """Render counters + timers as an aligned text block for the CLI."""
+    lines = [title]
+    names = [n for n in _COUNTER_ORDER if n in instr.counters]
+    names += sorted(set(instr.counters) - set(_COUNTER_ORDER))
+    for name in names:
+        lines.append(f"  {name:<18} {instr.counters[name]:>12}")
+    lines.append(f"  {'cache_hit_rate':<18} {instr.hit_rate:>12.1%}")
+    timer_names = [n for n in _TIMER_ORDER if n in instr.seconds]
+    timer_names += sorted(set(instr.seconds) - set(_TIMER_ORDER))
+    for name in timer_names:
+        lines.append(f"  {name:<18} {instr.seconds[name]:>12.4f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Process-wide aggregate, reported by the CLI after an --engine run.
+# ----------------------------------------------------------------------
+_GLOBAL = Instrumentation()
+
+
+def merge_global(instr: Instrumentation) -> None:
+    """Fold one session's stats into the process-wide aggregate."""
+    _GLOBAL.merge(instr)
+
+
+def global_snapshot() -> Instrumentation:
+    """A copy of the process-wide aggregate (safe to render/mutate)."""
+    copy = Instrumentation()
+    copy.merge(_GLOBAL)
+    return copy
+
+
+def reset_global() -> None:
+    _GLOBAL.counters.clear()
+    _GLOBAL.seconds.clear()

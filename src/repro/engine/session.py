@@ -1,0 +1,244 @@
+"""The serving-side entry point: a cached, instrumented query session.
+
+A :class:`QuerySession` wraps any :class:`~repro.core.types.DistanceOracle`
+with
+
+* an **answer cache** — an LRU over ``(source, target, mask)`` triples
+  (``cache_size`` entries, 0 disables it);
+* a **plan cache** — an LRU over constraint masks holding whatever the
+  oracle's executor precomputes per mask (PowCov: resolved per-vertex
+  landmark rows; ChromLand: the usable filter + masked auxiliary
+  adjacency);
+* an :class:`~repro.engine.instrument.Instrumentation` of counters and
+  stage timers, exposed as ``session.stats``.
+
+``run()`` takes a batch (``Query`` objects or ``(s, t, mask)`` triples),
+serves what it can from the answer cache, groups the misses by mask, and
+executes each group vectorized.  Answers are bit-identical to the scalar
+``oracle.query`` loop — property-tested in ``tests/test_engine.py`` — so
+sessions are a pure serving-layer optimization.
+
+``execute_batch`` is the session-free one-shot used by
+``DistanceOracle.batch_query``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..core.types import DistanceOracle
+from .executors import OracleExecutor, executor_for
+from .instrument import Instrumentation, format_stats, merge_global
+from .plan import as_triple, plan_batch, to_triple_array
+
+__all__ = ["QuerySession", "execute_batch"]
+
+
+class QuerySession:
+    """A cached, instrumented, batch-native view of one oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Any built oracle (index or baseline).
+    cache_size:
+        Answer-cache capacity in ``(s, t, mask)`` entries; 0 disables
+        answer caching (batches are still executed vectorized).
+    plan_cache_size:
+        Number of distinct masks whose prepared plans are retained.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        cache_size: int = 4096,
+        plan_cache_size: int = 128,
+    ):
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        self.oracle = oracle
+        self.executor: OracleExecutor = executor_for(oracle)
+        self.cache_size = cache_size
+        self.plan_cache_size = plan_cache_size
+        self.stats = Instrumentation()
+        self._answers: OrderedDict[tuple[int, int, int], float] = OrderedDict()
+        self._plans: OrderedDict[int, object] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: tuple[int, int, int]) -> float | None:
+        value = self._answers.get(key)
+        if value is not None:
+            self._answers.move_to_end(key)
+        return value
+
+    def _cache_put(self, key: tuple[int, int, int], value: float) -> None:
+        if self.cache_size == 0:
+            return
+        if key in self._answers:
+            self._answers.move_to_end(key)
+        self._answers[key] = value
+        while len(self._answers) > self.cache_size:
+            self._answers.popitem(last=False)
+            self.stats.count("cache_evictions")
+
+    def _plan_for(self, label_mask: int):
+        plan = self._plans.get(label_mask)
+        if plan is not None or label_mask in self._plans:
+            self._plans.move_to_end(label_mask)
+            self.stats.count("plan_cache_hits")
+            return plan
+        plan = self.executor.prepare_mask(label_mask)
+        self.stats.count("masks_planned")
+        self._plans[label_mask] = plan
+        while len(self._plans) > self.plan_cache_size:
+            self._plans.popitem(last=False)
+        return plan
+
+    def cache_info(self) -> dict[str, int | float]:
+        """Answer/plan cache occupancy and hit statistics."""
+        counters = self.stats.counters
+        return {
+            "cache_size": self.cache_size,
+            "cached_answers": len(self._answers),
+            "cached_plans": len(self._plans),
+            "hits": counters.get("cache_hits", 0),
+            "misses": counters.get("cache_misses", 0),
+            "evictions": counters.get("cache_evictions", 0),
+            "hit_rate": self.stats.hit_rate,
+        }
+
+    def clear_cache(self) -> None:
+        self._answers.clear()
+        self._plans.clear()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int, label_mask: int) -> float:
+        """Single cached query (scalar path on miss)."""
+        self.stats.count("queries")
+        key = (source, target, label_mask)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self.stats.count("cache_hits")
+            return cached
+        self.stats.count("cache_misses")
+        self.stats.count("executed")
+        value = self.oracle.query(source, target, label_mask)
+        self._cache_put(key, value)
+        return value
+
+    def run(self, queries: Sequence) -> list[float]:
+        """Answer a batch through the planned, vectorized path.
+
+        Accepts ``Query`` objects, ``LabeledQuery`` objects, plain
+        ``(source, target, mask)`` triples, or an ``(n, 3)`` int array;
+        returns answers in submission order, bit-identical to the scalar
+        loop.
+        """
+        with self.stats.timed("total_seconds"):
+            if not self.cache_size:
+                arr = to_triple_array(queries)
+                self.stats.count("queries", len(arr))
+                self.stats.count("batches")
+                if len(arr) == 0:
+                    return []
+                self.stats.count("cache_misses", len(arr))
+                return self._execute(arr).tolist()
+            # Cached path: probe with the submitted tuples directly (no
+            # array round-trip on an all-hits batch).
+            queries = list(queries)
+            if queries and not isinstance(queries[0], tuple):
+                queries = [as_triple(q) for q in queries]
+            n = len(queries)
+            self.stats.count("queries", n)
+            self.stats.count("batches")
+            if n == 0:
+                return []
+            answers: list[float | None] = [None] * n
+            miss_positions: list[int] = []
+            for i, key in enumerate(queries):
+                cached = self._cache_get(key)
+                if cached is None:
+                    miss_positions.append(i)
+                else:
+                    answers[i] = cached
+            self.stats.count("cache_hits", n - len(miss_positions))
+            self.stats.count("cache_misses", len(miss_positions))
+            if miss_positions:
+                misses = [queries[i] for i in miss_positions]
+                values = self._execute(to_triple_array(misses))
+                for i, value in zip(miss_positions, values.tolist()):
+                    answers[i] = value
+                    self._cache_put(queries[i], value)
+            return answers  # type: ignore[return-value]
+
+    def _execute(self, arr: "np.ndarray") -> "np.ndarray":
+        """Plan + execute an ``(n, 3)`` miss array; answers by position."""
+        self.stats.count("executed", len(arr))
+        with self.stats.timed("plan_seconds"):
+            plan = plan_batch(arr)
+        out = np.empty(len(arr), dtype=np.float64)
+        with self.stats.timed("execute_seconds"):
+            for group in plan.groups:
+                self.stats.count("groups")
+                mask_plan = self._plan_for(group.label_mask)
+                out[group.positions] = self.executor.execute_group(mask_plan, group)
+        return out
+
+    def run_stream(
+        self, stream: Iterable, batch_size: int = 1024
+    ) -> list[float]:
+        """Drain an iterable of triples through ``run`` in batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        answers: list[float] = []
+        batch: list = []
+        for item in stream:
+            batch.append(item)
+            if len(batch) >= batch_size:
+                answers.extend(self.run(batch))
+                batch = []
+        if batch:
+            answers.extend(self.run(batch))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def format_stats(self) -> str:
+        return format_stats(
+            self.stats, title=f"engine session stats ({self.oracle.name})"
+        )
+
+    def publish_stats(self) -> None:
+        """Fold this session's stats into the process-wide aggregate."""
+        merge_global(self.stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession({self.oracle.name}, cache_size={self.cache_size}, "
+            f"cached={len(self._answers)})"
+        )
+
+
+def execute_batch(oracle: DistanceOracle, queries: Sequence) -> list[float]:
+    """One-shot batch execution, no caches: plan, group, execute.
+
+    This is what ``DistanceOracle.batch_query`` delegates to; results are
+    bit-identical to ``[oracle.query(s, t, m) for s, t, m in queries]``.
+    """
+    executor = executor_for(oracle)
+    plan = plan_batch(queries)
+    out = np.empty(plan.num_queries, dtype=np.float64)
+    for group in plan.groups:
+        mask_plan = executor.prepare_mask(group.label_mask)
+        out[group.positions] = executor.execute_group(mask_plan, group)
+    return out.tolist()

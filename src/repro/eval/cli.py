@@ -79,6 +79,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for index construction "
                         "(1 = serial, 0 = all cores); output is identical "
                         "for every worker count")
+    parser.add_argument("--engine", action="store_true",
+                        help="answer queries through the batch engine "
+                        "(vectorized, cached QuerySession); answers are "
+                        "bit-identical to the scalar path, only timings "
+                        "and the engine-counter summary change")
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="engine answer-cache entries per session "
+                        "(0 disables answer caching; only meaningful "
+                        "with --engine)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the output to this file")
     parser.add_argument("--csv-dir", type=str, default=None,
@@ -91,6 +100,15 @@ def main(argv: list[str] | None = None) -> int:
         from ..perf.parallel import ParallelConfig, set_default_parallel
 
         set_default_parallel(ParallelConfig(num_workers=args.workers))
+    if args.cache_size < 0:
+        parser.error("argument --cache-size: must be >= 0")
+    if args.engine:
+        from ..engine import EngineConfig, reset_global, set_default_engine
+
+        set_default_engine(
+            EngineConfig(enabled=True, cache_size=args.cache_size)
+        )
+        reset_global()
 
     sections: list[str] = []
 
@@ -160,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"{profile.degree_gini:.2f}",
             ])
         emit("Dataset structural profiles\n" + render_rows(headers, body))
+    if args.engine:
+        from ..engine import format_stats, global_snapshot
+
+        stats = global_snapshot()
+        emit(format_stats(stats, title="engine stats (all sessions)"))
     elapsed = time.perf_counter() - started
     footer = f"[repro.eval.cli] completed {args.what} in {elapsed:.1f}s"
     print(footer)

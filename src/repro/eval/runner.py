@@ -15,6 +15,7 @@ from ..baselines import BidirectionalBFSBaseline, LabelConstrainedCH
 from ..core.chromland import ChromLandIndex, local_search_selection, majority_colors, random_selection
 from ..core.naive import NaivePowersetIndex
 from ..core.powcov import PowCovIndex
+from ..engine import EngineConfig
 from ..graph.labeled_graph import EdgeLabeledGraph
 from ..landmarks import select_landmarks
 from ..perf.parallel import ParallelConfig
@@ -54,19 +55,26 @@ def baseline_query_seconds(
     limit: int = 100,
     include_ch: bool = True,
     ch_degree_limit: int = 16,
+    engine: "EngineConfig | bool | None" = None,
 ) -> float:
     """Per-query seconds of the *fastest* exact baseline (paper's choice).
 
     Runs bidirectional BFS and (optionally) the Rice–Tsotras-style CH over
     a workload prefix and returns the better mean.  On every non-road graph
     in this reproduction bidirectional BFS wins, mirroring the paper.
+
+    ``engine`` matches :func:`evaluate_oracle`'s parameter: with the batch
+    engine on, the baselines are timed through their (trivial, scalar-loop)
+    engine adapters so speed-up factors compare like with like.
     """
-    bidi = time_oracle(BidirectionalBFSBaseline(graph), workload, limit=limit)
+    bidi = time_oracle(
+        BidirectionalBFSBaseline(graph), workload, limit=limit, engine=engine
+    )
     if not include_ch:
         return bidi
     try:
         ch = LabelConstrainedCH(graph, degree_limit=ch_degree_limit).build()
-        ch_time = time_oracle(ch, workload, limit=min(limit, 30))
+        ch_time = time_oracle(ch, workload, limit=min(limit, 30), engine=engine)
     except Exception:  # CH build can be impractical on dense graphs
         return bidi
     return min(bidi, ch_time)
@@ -89,12 +97,16 @@ def run_powcov(
     builder: str = "traverse",
     storage: str = "flat",
     parallel: "ParallelConfig | int | None" = None,
+    engine: "EngineConfig | bool | None" = None,
 ) -> IndexRun:
     """Build a PowCov index with ``k`` landmarks and evaluate it.
 
     ``parallel`` is forwarded to :meth:`PowCovIndex.build`; ``None`` picks
     up the process-wide default (the CLI's ``--workers`` flag), keeping the
-    built index bit-for-bit identical either way.
+    built index bit-for-bit identical either way.  ``engine`` selects the
+    query-execution path (scalar vs. batched, see
+    :func:`repro.eval.metrics.evaluate_oracle`); answers are identical,
+    only timing and engine counters change.
     """
     landmarks = select_landmarks(graph, k, strategy=strategy, seed=seed)
     started = time.perf_counter()
@@ -102,9 +114,9 @@ def run_powcov(
         parallel=parallel
     )
     build_seconds = time.perf_counter() - started
-    metrics = evaluate_oracle(index, workload)
+    metrics = evaluate_oracle(index, workload, engine=engine)
     if baseline_seconds is None:
-        baseline_seconds = baseline_query_seconds(graph, workload)
+        baseline_seconds = baseline_query_seconds(graph, workload, engine=engine)
     return IndexRun(
         index_name=f"powcov[{strategy}]",
         num_landmarks=k,
@@ -125,6 +137,7 @@ def run_chromland(
     baseline_seconds: float | None = None,
     query_mode: str = "auxiliary",
     parallel: "ParallelConfig | int | None" = None,
+    engine: "EngineConfig | bool | None" = None,
 ) -> IndexRun:
     """Build a ChromLand index with ``k`` landmarks and evaluate it.
 
@@ -161,9 +174,9 @@ def run_chromland(
         parallel=parallel
     )
     build_seconds = time.perf_counter() - started
-    metrics = evaluate_oracle(index, workload)
+    metrics = evaluate_oracle(index, workload, engine=engine)
     if baseline_seconds is None:
-        baseline_seconds = baseline_query_seconds(graph, workload)
+        baseline_seconds = baseline_query_seconds(graph, workload, engine=engine)
     return IndexRun(
         index_name=f"chromland[{selection}]",
         num_landmarks=k,
@@ -180,15 +193,16 @@ def run_naive(
     strategy: str = "greedy-mvc",
     seed: int | None = 0,
     baseline_seconds: float | None = None,
+    engine: "EngineConfig | bool | None" = None,
 ) -> IndexRun:
     """Build the naive powerset index (Table 2's straw man) and evaluate."""
     landmarks = select_landmarks(graph, k, strategy=strategy, seed=seed)
     started = time.perf_counter()
     index = NaivePowersetIndex(graph, landmarks).build()
     build_seconds = time.perf_counter() - started
-    metrics = evaluate_oracle(index, workload)
+    metrics = evaluate_oracle(index, workload, engine=engine)
     if baseline_seconds is None:
-        baseline_seconds = baseline_query_seconds(graph, workload)
+        baseline_seconds = baseline_query_seconds(graph, workload, engine=engine)
     return IndexRun(
         index_name="naive-powerset",
         num_landmarks=k,

@@ -15,15 +15,16 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.chromland import ChromLandIndex, local_search_selection
 from ..core.naive import NaivePowersetIndex
 from ..core.powcov import PowCovIndex, brute_force_sp_minimal, traverse_powerset
+from ..engine import EngineConfig
 from ..graph.datasets import dataset_names, load_dataset, paper_synthetic
 from ..graph.traversal import estimate_diameter
 from ..landmarks import select_landmarks
-from ..workloads.queries import Workload, generate_workload
+from ..workloads.queries import generate_workload
 from .runner import IndexRun, baseline_query_seconds, run_chromland, run_powcov
 
 __all__ = [
@@ -363,21 +364,28 @@ def table4(
     seed: int = 7,
     datasets: tuple[str, ...] | None = None,
     chromland_iterations: int = 4000,
+    engine: "EngineConfig | bool | None" = None,
 ) -> list[Table4Cell]:
-    """Full query evaluation of PowCov and ChromLand across ``ks``."""
+    """Full query evaluation of PowCov and ChromLand across ``ks``.
+
+    ``engine`` selects the query-execution path (scalar vs. batched) for
+    every index *and* baseline timing; answers — and thus every accuracy
+    column — are identical either way.
+    """
     cells = []
     for name in datasets if datasets is not None else dataset_names():
         graph, _spec = load_dataset(name, scale=scale, seed=seed)
         workload = generate_workload(graph, num_pairs=num_pairs, seed=seed)
-        base = baseline_query_seconds(graph, workload)
+        base = baseline_query_seconds(graph, workload, engine=engine)
         for k in ks:
             powcov = run_powcov(
-                graph, workload, k, seed=seed, baseline_seconds=base
+                graph, workload, k, seed=seed, baseline_seconds=base,
+                engine=engine,
             )
             cells.append(Table4Cell(name, "PowCov", k, powcov))
             chroml = run_chromland(
                 graph, workload, k, iterations=chromland_iterations,
-                seed=seed, baseline_seconds=base,
+                seed=seed, baseline_seconds=base, engine=engine,
             )
             cells.append(Table4Cell(name, "ChromLand", k, chroml))
     return cells

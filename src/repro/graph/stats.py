@@ -15,7 +15,6 @@ the dataset stand-in validation tests.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from collections.abc import Sequence
 
 import numpy as np
 

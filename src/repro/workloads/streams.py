@@ -15,14 +15,20 @@ the serving-side streams used by the examples and extension benchmarks:
 None of these compute exact distances — they produce raw
 ``(source, target, label_mask)`` triples for throughput-style runs; use
 :func:`repro.workloads.generate_workload` when ground truth is needed.
+:func:`run_stream_throughput` drives any stream through an engine
+:class:`~repro.engine.QuerySession` and reports queries/second plus the
+session's cache counters.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.types import DistanceOracle
 from ..graph.labeled_graph import EdgeLabeledGraph
 from ..graph.traversal import UNREACHABLE, constrained_bfs
 from .queries import random_label_set
@@ -31,6 +37,8 @@ __all__ = [
     "size_skewed_stream",
     "locality_biased_stream",
     "fixed_context_stream",
+    "StreamReport",
+    "run_stream_throughput",
 ]
 
 
@@ -112,3 +120,75 @@ def fixed_context_stream(
         s = int(rng.integers(graph.num_vertices))
         t = int(rng.integers(graph.num_vertices))
         yield (s, t, label_mask)
+
+
+# ----------------------------------------------------------------------
+# Throughput measurement through the batch engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamReport:
+    """Result of one :func:`run_stream_throughput` pass."""
+
+    num_queries: int
+    elapsed_seconds: float
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    masks_planned: int
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.num_queries / self.elapsed_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        probed = self.cache_hits + self.cache_misses
+        return self.cache_hits / probed if probed else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_queries} queries in {self.elapsed_seconds:.3f}s "
+            f"({self.queries_per_second:,.0f} q/s, "
+            f"hit rate {100.0 * self.hit_rate:.1f}%, "
+            f"{self.masks_planned} masks planned)"
+        )
+
+
+def run_stream_throughput(
+    oracle: DistanceOracle,
+    stream: Iterable[tuple[int, int, int]],
+    batch_size: int = 1024,
+    cache_size: int = 4096,
+    session=None,
+) -> tuple[list[float], StreamReport]:
+    """Drain ``stream`` through a :class:`~repro.engine.QuerySession`.
+
+    Returns the answers (submission order, bit-identical to a scalar
+    ``oracle.query`` loop) together with a :class:`StreamReport` of the
+    wall-clock throughput and the session's cache counters.  Pass an
+    existing ``session`` to measure warm-cache replays; otherwise a fresh
+    session with ``cache_size`` answer entries is created.
+    """
+    from ..engine import QuerySession
+
+    if session is None:
+        session = QuerySession(oracle, cache_size=cache_size)
+    before = dict(session.stats.counters)
+    started = time.perf_counter()
+    answers = session.run_stream(stream, batch_size=batch_size)
+    elapsed = time.perf_counter() - started
+
+    def delta(name: str) -> int:
+        return session.stats.counters.get(name, 0) - before.get(name, 0)
+
+    report = StreamReport(
+        num_queries=len(answers),
+        elapsed_seconds=elapsed,
+        cache_hits=delta("cache_hits"),
+        cache_misses=delta("cache_misses"),
+        cache_evictions=delta("cache_evictions"),
+        masks_planned=delta("masks_planned"),
+    )
+    return answers, report

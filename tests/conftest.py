@@ -4,10 +4,8 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.graph.builder import GraphBuilder
 from repro.graph.datasets import (
     figure1_graph,
     figure2_graph,

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.chromland.selection import (
-    ChromLandSelection,
     local_search_selection,
     majority_colors,
     objective_value,

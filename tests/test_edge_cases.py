@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -16,7 +15,6 @@ from repro.core import (
 from repro.graph.builder import GraphBuilder
 from repro.graph.labeled_graph import EdgeLabeledGraph
 from repro.graph.traversal import (
-    UNREACHABLE,
     bidirectional_constrained_bfs,
     constrained_bfs,
     estimate_diameter,

@@ -1,0 +1,323 @@
+"""Tests for the batch-native query engine (repro.engine).
+
+The engine's contract is *bit-identity*: for every oracle, batch
+execution — with or without answer caching — returns exactly what the
+scalar ``oracle.query`` loop returns, including the edge cases
+(``s == t``, empty constraint masks, unreachable pairs).  The tests here
+sweep that contract across every oracle family and storage layout, then
+cover the planning layer, session caches, counters, and config plumbing.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import BidirectionalBFSBaseline, LabelConstrainedCH
+from repro.core.chromland import ChromLandIndex
+from repro.core.naive import NaivePowersetIndex
+from repro.core.powcov import PowCovIndex, WeightedPowCovIndex
+from repro.core.types import Query
+from repro.engine import (
+    EngineConfig,
+    ExecutionPlan,
+    PowCovExecutor,
+    QuerySession,
+    ScalarLoopExecutor,
+    default_engine,
+    execute_batch,
+    executor_for,
+    plan_batch,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.engine.plan import as_triple, to_triple_array
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.graph.labelsets import full_mask
+
+
+def directed_random(n=30, m=120, labels=3, seed=0) -> EdgeLabeledGraph:
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < m:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v:
+            edges.add((u, v, int(rng.integers(labels))))
+    return EdgeLabeledGraph.from_edges(n, sorted(edges), num_labels=labels,
+                                       directed=True)
+
+
+def symmetric_weights(graph, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    weights = np.zeros(graph.num_arcs, dtype=np.float64)
+    pair_weight: dict[tuple[int, int, int], float] = {}
+    for u in range(graph.num_vertices):
+        for i in range(int(graph.indptr[u]), int(graph.indptr[u + 1])):
+            key = (min(u, int(graph.neighbors[i])),
+                   max(u, int(graph.neighbors[i])), int(graph.edge_labels[i]))
+            if key not in pair_weight:
+                pair_weight[key] = float(rng.integers(1, 6))
+            weights[i] = pair_weight[key]
+    return weights
+
+
+def mixed_batch(graph, num_queries=160, seed=5) -> list[tuple[int, int, int]]:
+    """A batch exercising every edge case: s==t, mask 0, repeats, all sizes."""
+    rng = np.random.default_rng(seed)
+    n, top = graph.num_vertices, full_mask(graph.num_labels)
+    batch = [
+        (0, 0, top),          # s == t answers 0 even with...
+        (3, 3, 0),            # ...an empty mask
+        (0, min(5, n - 1), 0),  # empty mask, distinct endpoints -> inf
+    ]
+    for _ in range(num_queries - len(batch)):
+        batch.append((int(rng.integers(n)), int(rng.integers(n)),
+                      int(rng.integers(0, top + 1))))
+    batch.extend(batch[3:8])  # duplicates exercise the answer cache
+    return batch
+
+
+def scalar_answers(oracle, batch):
+    return [oracle.query(s, t, m) for s, t, m in batch]
+
+
+def assert_engine_matches_scalar(oracle, batch):
+    """The core contract: batch path == scalar path, caches on and off."""
+    expected = scalar_answers(oracle, batch)
+    assert execute_batch(oracle, batch) == expected
+    assert QuerySession(oracle, cache_size=0).run(batch) == expected
+    session = QuerySession(oracle, cache_size=4096)
+    assert session.run(batch) == expected
+    assert session.run(batch) == expected  # warm-cache replay
+
+
+@pytest.fixture(scope="module")
+def undirected():
+    return labeled_erdos_renyi(40, 130, num_labels=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def landmarks():
+    return [0, 9, 18, 27]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("storage", ["flat", "packed", "trie"])
+    def test_powcov_storages(self, undirected, landmarks, storage):
+        index = PowCovIndex(undirected, landmarks, storage=storage).build()
+        assert_engine_matches_scalar(index, mixed_batch(undirected))
+
+    def test_powcov_median_estimator(self, undirected, landmarks):
+        index = PowCovIndex(undirected, landmarks, estimator="median").build()
+        assert_engine_matches_scalar(index, mixed_batch(undirected))
+
+    @pytest.mark.parametrize("query_mode", ["auxiliary", "simple"])
+    def test_chromland_modes(self, undirected, landmarks, query_mode):
+        index = ChromLandIndex(
+            undirected, landmarks, [0, 1, 2, 3], query_mode=query_mode
+        ).build()
+        assert_engine_matches_scalar(index, mixed_batch(undirected))
+
+    def test_naive_powerset(self, undirected, landmarks):
+        index = NaivePowersetIndex(undirected, landmarks).build()
+        assert_engine_matches_scalar(index, mixed_batch(undirected))
+
+    def test_bidirectional_baseline(self, undirected):
+        assert_engine_matches_scalar(
+            BidirectionalBFSBaseline(undirected), mixed_batch(undirected, 60)
+        )
+
+    def test_label_constrained_ch(self, undirected):
+        ch = LabelConstrainedCH(undirected, degree_limit=12).build()
+        assert_engine_matches_scalar(ch, mixed_batch(undirected, 60))
+
+    @pytest.mark.parametrize("estimator", ["upper", "median"])
+    def test_directed_powcov(self, estimator):
+        graph = directed_random(seed=8)
+        index = PowCovIndex(
+            graph, [0, 6, 12, 18], estimator=estimator
+        ).build()
+        assert_engine_matches_scalar(index, mixed_batch(graph, seed=8))
+
+    @pytest.mark.parametrize("query_mode", ["auxiliary", "simple"])
+    def test_directed_chromland(self, query_mode):
+        graph = directed_random(seed=9)
+        index = ChromLandIndex(
+            graph, [0, 6, 12, 18], [0, 1, 2, 0], query_mode=query_mode
+        ).build()
+        assert_engine_matches_scalar(index, mixed_batch(graph, seed=9))
+
+    def test_weighted_powcov(self, undirected, landmarks):
+        weights = symmetric_weights(undirected, seed=11)
+        index = WeightedPowCovIndex(undirected, landmarks, weights).build()
+        assert_engine_matches_scalar(index, mixed_batch(undirected))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 4))
+    def test_property_random_graphs(self, seed, labels):
+        rng = np.random.default_rng(seed)
+        graph = labeled_erdos_renyi(
+            int(rng.integers(12, 36)), int(rng.integers(20, 90)),
+            num_labels=labels, seed=seed,
+        )
+        k = min(3, graph.num_vertices)
+        lms = sorted(int(v) for v in rng.choice(graph.num_vertices, k, False))
+        batch = mixed_batch(graph, num_queries=40, seed=seed)
+        for oracle in (
+            PowCovIndex(graph, lms).build(),
+            ChromLandIndex(graph, lms, [i % labels for i in range(k)]).build(),
+        ):
+            assert execute_batch(oracle, batch) == scalar_answers(oracle, batch)
+
+    def test_batch_query_delegates_to_engine(self, undirected, landmarks):
+        index = PowCovIndex(undirected, landmarks).build()
+        queries = [Query(s, t, m) for s, t, m in mixed_batch(undirected, 50)]
+        assert index.batch_query(queries) == index.batch_query_scalar(queries)
+
+
+class TestPlanning:
+    def test_as_triple_forms(self):
+        assert as_triple((1, 2, 3)) == (1, 2, 3)
+        assert as_triple(Query(1, 2, 3)) == (1, 2, 3)
+
+    def test_to_triple_array_forms(self):
+        triples = [(0, 1, 3), (2, 0, 1)]
+        for form in (
+            triples,
+            [Query(s, t, m) for s, t, m in triples],
+            np.asarray(triples, dtype=np.int64),
+        ):
+            assert to_triple_array(form).tolist() == [list(t) for t in triples]
+        assert to_triple_array([]).shape == (0, 3)
+        with pytest.raises(ValueError):
+            to_triple_array(np.zeros((3, 2), dtype=np.int64))
+
+    def test_plan_groups_partition_batch(self):
+        batch = [(0, 1, 5), (1, 2, 3), (2, 3, 5), (3, 4, 3), (4, 5, 5)]
+        plan = plan_batch(batch)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.num_queries == len(batch)
+        assert plan.num_masks == 2
+        masks = [g.label_mask for g in plan.groups]
+        assert masks == sorted(masks)
+        seen = np.concatenate([g.positions for g in plan.groups])
+        assert sorted(seen.tolist()) == list(range(len(batch)))
+        for group in plan.groups:
+            for pos, s, t in zip(group.positions, group.sources, group.targets):
+                assert batch[pos] == (s, t, group.label_mask)
+
+    def test_empty_plan(self):
+        plan = plan_batch([])
+        assert plan.num_queries == 0
+        assert plan.groups == ()
+
+
+class TestQuerySession:
+    @pytest.fixture(scope="class")
+    def index(self, undirected, landmarks):
+        return PowCovIndex(undirected, landmarks).build()
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError):
+            QuerySession(index, cache_size=-1)
+        with pytest.raises(ValueError):
+            QuerySession(index, plan_cache_size=0)
+
+    def test_counters_and_cache_info(self, index, undirected):
+        batch = mixed_batch(undirected, 80)
+        session = QuerySession(index, cache_size=4096)
+        session.run(batch)
+        counters = session.stats.counters
+        # The whole first batch is probed before any answer lands in the
+        # cache, so duplicates within it still count as misses.
+        assert counters["queries"] == len(batch)
+        assert counters["cache_misses"] == len(batch)
+        assert counters["cache_hits"] == 0
+        assert counters["executed"] == len(batch)
+        session.run(batch)
+        assert session.stats.counters["cache_hits"] == len(batch)
+        info = session.cache_info()
+        assert info["cached_answers"] == len(set(batch))
+        assert 0 < info["hit_rate"] <= 1
+
+    def test_evictions(self, index, undirected):
+        batch = list(dict.fromkeys(mixed_batch(undirected, 100)))
+        session = QuerySession(index, cache_size=8)
+        session.run(batch)
+        assert session.stats.counters["cache_evictions"] == len(batch) - 8
+        assert len(session._answers) == 8
+
+    def test_plan_cache(self, index):
+        # cache_size=0 so every run reaches the plan lookup (answers
+        # would otherwise short-circuit repeated masks entirely).
+        session = QuerySession(index, cache_size=0, plan_cache_size=2)
+        for mask in (1, 2, 1, 4, 1):
+            session.run([(0, 1, mask)])
+        counters = session.stats.counters
+        # plan: 1, 2 planned; 1 hits (LRU order [2, 1]); 4 evicts 2;
+        # 1 hits again.
+        assert counters["masks_planned"] == 3
+        assert counters["plan_cache_hits"] == 2
+
+    def test_scalar_query_path_cached(self, index):
+        session = QuerySession(index)
+        first = session.query(0, 5, 7)
+        assert session.query(0, 5, 7) == first == index.query(0, 5, 7)
+        assert session.stats.counters["cache_hits"] == 1
+
+    def test_clear_cache(self, index):
+        session = QuerySession(index)
+        session.run([(0, 1, 3)])
+        session.clear_cache()
+        assert session.cache_info()["cached_answers"] == 0
+
+    def test_run_stream_matches_run(self, index, undirected):
+        batch = mixed_batch(undirected, 90)
+        streamed = QuerySession(index).run_stream(iter(batch), batch_size=16)
+        assert streamed == QuerySession(index).run(batch)
+        with pytest.raises(ValueError):
+            QuerySession(index).run_stream(iter(batch), batch_size=0)
+
+    def test_empty_batch(self, index):
+        assert QuerySession(index).run([]) == []
+        assert execute_batch(index, []) == []
+
+    def test_format_stats_mentions_counters(self, index):
+        session = QuerySession(index)
+        session.run([(0, 1, 3)])
+        text = session.format_stats()
+        assert "cache" in text and "queries" in text
+
+
+class TestExecutorDispatch:
+    def test_powcov_gets_specialized_executor(self, undirected, landmarks):
+        index = PowCovIndex(undirected, landmarks).build()
+        assert isinstance(executor_for(index), PowCovExecutor)
+
+    def test_baseline_gets_scalar_adapter(self, undirected):
+        executor = executor_for(BidirectionalBFSBaseline(undirected))
+        assert isinstance(executor, ScalarLoopExecutor)
+
+    def test_unbuilt_index_rejected(self, undirected, landmarks):
+        with pytest.raises(RuntimeError):
+            executor_for(PowCovIndex(undirected, landmarks))
+
+
+class TestEngineConfig:
+    def test_resolve_forms(self):
+        assert resolve_engine(None) == default_engine()
+        assert resolve_engine(True).enabled
+        assert not resolve_engine(False).enabled
+        config = EngineConfig(enabled=True, cache_size=7)
+        assert resolve_engine(config) is config
+
+    def test_default_roundtrip(self):
+        original = default_engine()
+        try:
+            set_default_engine(EngineConfig(enabled=True, cache_size=123))
+            assert resolve_engine(None).cache_size == 123
+        finally:
+            set_default_engine(original)

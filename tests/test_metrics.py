@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -82,6 +81,37 @@ class TestEvaluateOracle:
     def test_time_oracle(self, setup):
         graph, workload = setup
         per_query = time_oracle(ExactOracle(graph), workload, limit=10)
+        assert per_query > 0
+
+    def test_time_queries_false_skips_timing_pass(self, setup):
+        graph, workload = setup
+        oracle = _ConstantOffsetOracle(graph, 0.0)
+        metrics = evaluate_oracle(oracle, workload, time_queries=False)
+        assert metrics.mean_query_seconds == 0.0
+        # one accounting pass only — no hidden timing pass ran
+        assert oracle._count == len(workload)
+
+    def test_engine_mode_matches_scalar_accuracy(self, setup):
+        from repro.core.powcov import PowCovIndex
+        from repro.engine import EngineConfig
+
+        graph, workload = setup
+        index = PowCovIndex(graph, [0, 10, 20, 30]).build()
+        scalar = evaluate_oracle(index, workload, time_queries=False)
+        engine = evaluate_oracle(
+            index, workload, time_queries=False, engine=True
+        )
+        assert engine == scalar  # identical answers -> identical metrics
+        timed = evaluate_oracle(
+            index, workload, engine=EngineConfig(enabled=True, cache_size=64)
+        )
+        assert timed.mean_query_seconds > 0
+
+    def test_time_oracle_engine_path(self, setup):
+        graph, workload = setup
+        per_query = time_oracle(
+            ExactOracle(graph), workload, limit=10, engine=True
+        )
         assert per_query > 0
 
 

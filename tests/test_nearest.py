@@ -7,7 +7,6 @@ import pytest
 from repro.core.exact import ExactOracle
 from repro.core.nearest import constrained_nearest, rank_candidates
 from repro.core.powcov import PowCovIndex
-from repro.graph.generators import labeled_erdos_renyi
 from repro.graph.traversal import UNREACHABLE, constrained_bfs
 
 from conftest import make_line

@@ -19,7 +19,6 @@ from repro.core.powcov import PowCovIndex
 from repro.core.powcov.weighted import WeightedPowCovIndex
 from repro.graph.generators import labeled_erdos_renyi
 from repro.graph.labeled_graph import EdgeLabeledGraph
-from repro.perf import parallel as parallel_mod
 from repro.perf import shm as shm_mod
 from repro.perf.parallel import (
     ParallelConfig,

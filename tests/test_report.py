@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.eval.figures import Figure6Series
 from repro.eval.metrics import OracleMetrics

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.powcov.spminimal import (
-    BIG,
     brute_force_sp_minimal,
     generate_candidates,
     generate_candidates_apriori,

@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import json
-import math
 
-import numpy as np
 import pytest
 
 from repro.graph.datasets import load_dataset
@@ -123,12 +121,11 @@ class TestWitnessPaths:
             assert path[0] == 0 and path[-1] == target
             assert len(path) - 1 == dist[target]
             for a, b in zip(path, path[1:]):
-                label = random_graph.edge_label(a, b)
                 # any parallel edge counts; at least one must be in mask
                 labels = [
-                    l for v, l in random_graph.iter_neighbors(a) if v == b
+                    lab for v, lab in random_graph.iter_neighbors(a) if v == b
                 ]
-                assert any(mask & (1 << l) for l in labels)
+                assert any(mask & (1 << lab) for lab in labels)
 
     def test_trivial_path(self, random_graph):
         assert constrained_shortest_path(random_graph, 3, 3, 1) == [3]

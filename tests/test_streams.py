@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.graph.generators import labeled_erdos_renyi
 from repro.graph.labeled_graph import EdgeLabeledGraph
-from repro.graph.labelsets import popcount
+from repro.graph.labelsets import full_mask, popcount
 from repro.graph.traversal import bidirectional_constrained_bfs
 from repro.workloads.streams import (
+    StreamReport,
     fixed_context_stream,
     locality_biased_stream,
+    run_stream_throughput,
     size_skewed_stream,
 )
 
@@ -21,13 +22,22 @@ def graph():
     return labeled_erdos_renyi(80, 280, num_labels=5, seed=9)
 
 
+def assert_masks_valid(graph, stream):
+    """Every stream mask is non-empty and within the label universe."""
+    top = full_mask(graph.num_labels)
+    for _, _, mask in stream:
+        assert 0 < mask <= top
+
+
 class TestSizeSkewed:
     def test_count_and_ranges(self, graph):
         stream = size_skewed_stream(graph, 200, seed=1)
         assert len(stream) == 200
         for s, t, mask in stream:
             assert 0 <= s < graph.num_vertices
+            assert 0 <= t < graph.num_vertices
             assert 1 <= popcount(mask) <= graph.num_labels
+        assert_masks_valid(graph, stream)
 
     def test_small_sets_dominate(self, graph):
         stream = size_skewed_stream(graph, 500, seed=2)
@@ -50,9 +60,15 @@ class TestLocalityBiased:
     def test_pairs_within_radius(self, graph):
         stream = locality_biased_stream(graph, 60, radius=3, seed=4)
         assert len(stream) == 60
+        assert_masks_valid(graph, stream)
         for s, t, mask in stream:
             d = bidirectional_constrained_bfs(graph, s, t, mask)
             assert d <= 2 * 3  # both endpoints in one radius-3 ball
+
+    def test_deterministic(self, graph):
+        assert locality_biased_stream(graph, 30, seed=6) == (
+            locality_biased_stream(graph, 30, seed=6)
+        )
 
     def test_edgeless_graph_raises(self):
         g = EdgeLabeledGraph.from_edges(50, [], num_labels=1)
@@ -72,9 +88,52 @@ class TestFixedContext:
         items = list(stream)
         assert len(items) == 40
         assert all(mask == 0b101 for _, _, mask in items)
+        assert_masks_valid(graph, items)
+
+    def test_deterministic(self, graph):
+        assert list(fixed_context_stream(graph, 0b11, 25, seed=8)) == (
+            list(fixed_context_stream(graph, 0b11, 25, seed=8))
+        )
 
     def test_validation(self, graph):
         with pytest.raises(ValueError):
             list(fixed_context_stream(graph, 0, 10))
         with pytest.raises(ValueError):
             list(fixed_context_stream(graph, 1, 0))
+
+
+class TestStreamThroughput:
+    @pytest.fixture(scope="class")
+    def index(self, graph):
+        from repro.core.powcov import PowCovIndex
+
+        return PowCovIndex(graph, [0, 20, 40, 60]).build()
+
+    def test_answers_match_scalar_loop(self, graph, index):
+        stream = size_skewed_stream(graph, 150, seed=3)
+        answers, report = run_stream_throughput(index, stream, batch_size=32)
+        assert answers == [index.query(s, t, m) for s, t, m in stream]
+        assert isinstance(report, StreamReport)
+        assert report.num_queries == len(stream)
+        assert report.elapsed_seconds > 0
+        assert report.queries_per_second > 0
+        assert report.cache_hits + report.cache_misses == len(stream)
+        assert report.masks_planned > 0
+
+    def test_warm_session_replay_hits_cache(self, graph, index):
+        from repro.engine import QuerySession
+
+        stream = size_skewed_stream(graph, 100, seed=4)
+        session = QuerySession(index, cache_size=4096)
+        run_stream_throughput(index, stream, session=session)
+        _, warm = run_stream_throughput(index, stream, session=session)
+        assert warm.cache_hits == len(stream)
+        assert warm.cache_misses == 0
+        assert warm.hit_rate == 1.0
+        assert warm.masks_planned == 0
+
+    def test_describe_mentions_throughput(self, graph, index):
+        _, report = run_stream_throughput(
+            index, size_skewed_stream(graph, 20, seed=5)
+        )
+        assert "q/s" in report.describe()
