@@ -33,6 +33,8 @@ Experiments::
 See README.md for the full guide and DESIGN.md for the system inventory.
 """
 
+from __future__ import annotations
+
 from .baselines import (
     BidirectionalBFSBaseline,
     LabelConstrainedCH,

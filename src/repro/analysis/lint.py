@@ -1,0 +1,571 @@
+"""Project-specific AST lint rules for the reproduction code base.
+
+The generic linters (ruff, mypy) cannot see the package's *semantic*
+conventions: which arrays are immutable, which module owns bitmask
+construction, which loops are allowed to be scalar.  This module encodes
+those conventions as six mechanical rules over the Python AST:
+
+``REPRO001``
+    CSR arrays (``indptr`` / ``neighbors`` / ``edge_labels``) are
+    immutable outside ``graph/labeled_graph.py``: no attribute stores, no
+    element stores, no ``setflags`` calls, no in-place ufuncs (``out=`` /
+    ``np.<ufunc>.at``) targeting them.
+``REPRO002``
+    Label masks are built only via :mod:`repro.graph.labelsets` helpers:
+    no raw ``1 << label`` with a non-literal shift and no
+    ``np.left_shift`` outside that module.  (Literal shifts such as
+    ``1 << 64`` in hashing code are not label masks and stay legal.)
+``REPRO003``
+    No unseeded randomness in ``core/``, ``engine/`` or ``perf/``: the
+    module-level ``random.*`` functions, ``np.random.seed`` and
+    argument-less ``np.random.default_rng()`` / ``random.Random()`` are
+    all banned — index builds must be reproducible from explicit seeds.
+``REPRO004``
+    ``engine/executors.py`` must stay vectorized: loops that iterate the
+    query columns of a :class:`~repro.engine.plan.MaskGroup` and
+    per-query ``oracle.query`` calls inside loops are confined to the
+    designated fallback (``ScalarLoopExecutor``).  Per-*row* reduction
+    loops (e.g. the median estimator) do not match the rule.
+``REPRO005``
+    Public functions and methods in ``core/`` and ``engine/`` carry full
+    annotations (every parameter and the return type).
+``REPRO006``
+    No ``print`` in library code — the engine's instrumentation layer and
+    the eval renderers return strings; only the CLI entry point
+    (``eval/cli.py``) and ``if __name__ == "__main__"`` blocks print.
+
+Suppression: a trailing ``# noqa: REPRO00X`` comment silences one rule on
+that line; a bare ``# noqa`` silences all of them.  Fixture files (and
+tests) can pin the module identity the rules key on with a leading
+``# lint-module: repro/<path>.py`` comment.
+
+Run it as ``python -m repro.analysis.lint [paths...]`` (defaults to
+``src/repro``); exits non-zero iff findings remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["RULES", "LintFinding", "lint_file", "lint_source", "lint_paths", "main"]
+
+#: Rule id -> one-line summary (the full rationale lives in docs/DEVELOPING.md).
+RULES: dict[str, str] = {
+    "REPRO001": "CSR arrays are immutable outside graph/labeled_graph.py",
+    "REPRO002": "label masks are built via repro.graph.labelsets helpers only",
+    "REPRO003": "no unseeded randomness in core/, engine/ or perf/",
+    "REPRO004": "no per-query scalar loops in engine/executors.py "
+    "outside ScalarLoopExecutor",
+    "REPRO005": "public functions in core/ and engine/ carry full annotations",
+    "REPRO006": "no print in library code (use instrumentation/renderers)",
+}
+
+#: The immutable CSR attribute names of ``EdgeLabeledGraph``.
+_CSR_ATTRS = frozenset({"indptr", "neighbors", "edge_labels"})
+#: Module (package-relative posix path) that owns CSR array construction.
+_CSR_OWNER = "graph/labeled_graph.py"
+#: Module that owns bitmask construction.
+_MASK_OWNER = "graph/labelsets.py"
+#: Package subtrees whose determinism REPRO003 guards.
+_DETERMINISTIC_PREFIXES = ("core/", "engine/", "perf/")
+#: Package subtrees whose public API REPRO005 checks.
+_ANNOTATED_PREFIXES = ("core/", "engine/")
+#: The one executors.py class allowed to loop per query.
+_SCALAR_FALLBACK_CLASS = "ScalarLoopExecutor"
+#: Modules where ``print`` is the job (CLI entry points).
+_PRINT_ALLOWED = ("eval/cli.py", "analysis/lint.py")
+
+_LINT_MODULE_RE = re.compile(r"^#\s*lint-module:\s*(\S+)\s*$", re.MULTILINE)
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _module_key(path: Path, source: str) -> str:
+    """Package-relative posix path the rules key on.
+
+    A leading ``# lint-module: repro/engine/executors.py`` comment (first
+    kilobyte of the file) pins the identity explicitly — that is how the
+    fixture corpus under ``tests/lint_fixtures/`` impersonates library
+    modules.  Otherwise the part of ``path`` after the last ``repro``
+    component is used, so both ``src/repro/core/exact.py`` and an
+    installed ``.../site-packages/repro/core/exact.py`` resolve to
+    ``core/exact.py``.
+    """
+    pinned = _LINT_MODULE_RE.search(source[:1024])
+    if pinned:
+        key = pinned.group(1)
+        return key.removeprefix("repro/")
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return path.name
+
+
+def _noqa_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = all rules)."""
+    suppressed: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                suppressed[token.start[0]] = None
+            else:
+                ids = frozenset(
+                    code.strip().upper() for code in codes.split(",") if code.strip()
+                )
+                previous = suppressed.get(token.start[0], frozenset())
+                if previous is None:
+                    continue
+                suppressed[token.start[0]] = previous | ids
+    except tokenize.TokenError:  # pragma: no cover - ast.parse fails first
+        pass
+    return suppressed
+
+
+def _is_csr_attribute(node: ast.expr) -> bool:
+    """True for ``<anything>.indptr`` / ``.neighbors`` / ``.edge_labels``."""
+    return isinstance(node, ast.Attribute) and node.attr in _CSR_ATTRS
+
+
+def _csr_target(node: ast.expr) -> ast.expr | None:
+    """The offending expression if ``node`` stores into a CSR array."""
+    if _is_csr_attribute(node):
+        return node
+    if isinstance(node, ast.Subscript) and _is_csr_attribute(node.value):
+        return node
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            hit = _csr_target(element)
+            if hit is not None:
+                return hit
+    if isinstance(node, ast.Starred):
+        return _csr_target(node.value)
+    return None
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """True for ``np.random`` / ``numpy.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    """One-pass rule evaluation over a module's AST."""
+
+    def __init__(self, module: str, path: str):
+        self.module = module
+        self.path = path
+        self.findings: list[LintFinding] = []
+        self._class_stack: list[str] = []
+        self._loop_depth = 0
+        self._main_guard_depth = 0
+        self._function_depth = 0
+        # Rule applicability, resolved once per file.
+        self.check_csr = module != _CSR_OWNER
+        self.check_masks = module != _MASK_OWNER
+        self.check_random = module.startswith(_DETERMINISTIC_PREFIXES)
+        self.check_loops = module == "engine/executors.py"
+        self.check_annotations = module.startswith(_ANNOTATED_PREFIXES)
+        self.check_print = module not in _PRINT_ALLOWED
+
+    # -- plumbing ------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    @staticmethod
+    def _is_main_guard(node: ast.If) -> bool:
+        test = node.test
+        return (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value == "__main__"
+        )
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._is_main_guard(node):
+            self._main_guard_depth += 1
+            self.generic_visit(node)
+            self._main_guard_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- REPRO001: CSR immutability ------------------------------------
+    def _check_csr_store(self, target: ast.expr) -> None:
+        hit = _csr_target(target)
+        if hit is not None:
+            self._flag(
+                hit,
+                "REPRO001",
+                "mutation of a CSR array outside graph/labeled_graph.py "
+                "(EdgeLabeledGraph storage is immutable)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.check_csr:
+            for target in node.targets:
+                self._check_csr_store(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self.check_csr and node.value is not None:
+            self._check_csr_store(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.check_csr:
+            self._check_csr_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if self.check_csr:
+            for target in node.targets:
+                self._check_csr_store(target)
+        self.generic_visit(node)
+
+    # -- REPRO002: mask construction -----------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            self.check_masks
+            and isinstance(node.op, ast.LShift)
+            and isinstance(node.left, ast.Constant)
+            and node.left.value == 1
+            and not isinstance(node.right, ast.Constant)
+        ):
+            self._flag(
+                node,
+                "REPRO002",
+                "raw '1 << label' mask construction; use "
+                "repro.graph.labelsets.label_bit / mask_from_labels",
+            )
+        self.generic_visit(node)
+
+    # -- calls: several rules meet here --------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # REPRO001: .setflags on CSR arrays, out=/ufunc.at in-place targets.
+        if self.check_csr:
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "setflags"
+                and _is_csr_attribute(func.value)
+            ):
+                self._flag(
+                    func,
+                    "REPRO001",
+                    "setflags on a CSR array outside graph/labeled_graph.py",
+                )
+            for keyword in node.keywords:
+                if keyword.arg == "out" and _csr_target(keyword.value) is not None:
+                    self._flag(
+                        keyword.value,
+                        "REPRO001",
+                        "in-place 'out=' write into a CSR array",
+                    )
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("at", "put", "copyto", "place", "putmask")
+                and node.args
+                and _csr_target(node.args[0]) is not None
+            ):
+                self._flag(
+                    node.args[0],
+                    "REPRO001",
+                    f"in-place '{func.attr}' write into a CSR array",
+                )
+        # REPRO002: vectorized shifts outside the mask-owning module.
+        if (
+            self.check_masks
+            and isinstance(func, ast.Attribute)
+            and func.attr in ("left_shift", "bitwise_left_shift")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+        ):
+            self._flag(
+                node,
+                "REPRO002",
+                "np.left_shift mask construction; use "
+                "repro.graph.labelsets.np_label_bits",
+            )
+        # REPRO003: unseeded randomness.
+        if self.check_random:
+            self._check_random_call(node, func)
+        # REPRO004: per-query oracle.query inside a loop.
+        if (
+            self.check_loops
+            and self._loop_depth > 0
+            and self._current_class() != _SCALAR_FALLBACK_CLASS
+            and isinstance(func, ast.Attribute)
+            and func.attr == "query"
+        ):
+            self._flag(
+                node,
+                "REPRO004",
+                "per-query oracle.query call in a loop outside the "
+                "designated ScalarLoopExecutor fallback",
+            )
+        # REPRO006: print in library code.
+        if (
+            self.check_print
+            and self._main_guard_depth == 0
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._flag(
+                node,
+                "REPRO006",
+                "print in library code; return a string or use "
+                "repro.engine.instrument",
+            )
+        self.generic_visit(node)
+
+    def _check_random_call(self, node: ast.Call, func: ast.expr) -> None:
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = func.value
+        # random.<fn>(...) — the module-level shared-state API.
+        if isinstance(owner, ast.Name) and owner.id == "random":
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node, "REPRO003", "random.Random() without an explicit seed"
+                    )
+            else:
+                self._flag(
+                    node,
+                    "REPRO003",
+                    f"module-level random.{func.attr}() uses hidden global "
+                    "state; pass a seeded random.Random instead",
+                )
+        # np.random.<fn>(...) — legacy global state or unseeded generators.
+        if _is_np_random(owner):
+            if func.attr == "default_rng":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node,
+                        "REPRO003",
+                        "np.random.default_rng() without an explicit seed",
+                    )
+            elif func.attr not in ("Generator", "SeedSequence", "PCG64"):
+                self._flag(
+                    node,
+                    "REPRO003",
+                    f"np.random.{func.attr}() uses the legacy global state; "
+                    "use np.random.default_rng(seed)",
+                )
+
+    # -- REPRO004: loops over the group's query columns ----------------
+    def _current_class(self) -> str | None:
+        return self._class_stack[-1] if self._class_stack else None
+
+    def _check_scalar_loop(self, node: ast.For | ast.While) -> None:
+        if not self.check_loops or self._current_class() == _SCALAR_FALLBACK_CLASS:
+            return
+        header = node.iter if isinstance(node, ast.For) else node.test
+        for sub in ast.walk(header):
+            if isinstance(sub, ast.Name) and sub.id == "group":
+                self._flag(
+                    node,
+                    "REPRO004",
+                    "loop iterating the MaskGroup query columns outside the "
+                    "designated ScalarLoopExecutor fallback",
+                )
+                return
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_scalar_loop(node)
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_scalar_loop(node)
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    # -- REPRO005: public-API annotations ------------------------------
+    def _check_annotations(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not self.check_annotations or node.name.startswith("_"):
+            return
+        if self._function_depth > 0:
+            return  # nested functions are local helpers, not public API
+        if any(cls.startswith("_") for cls in self._class_stack):
+            return  # private helper classes are internal API
+        args = node.args
+        positional = args.posonlyargs + args.args + args.kwonlyargs
+        missing = [
+            arg.arg
+            for arg in positional
+            if arg.annotation is None and arg.arg not in ("self", "cls")
+        ]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if missing:
+            self._flag(
+                node,
+                "REPRO005",
+                f"public function '{node.name}' has unannotated "
+                f"parameter(s): {', '.join(missing)}",
+            )
+        if node.returns is None:
+            self._flag(
+                node,
+                "REPRO005",
+                f"public function '{node.name}' has no return annotation",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_annotations(node)
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_annotations(node)
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+
+def lint_source(
+    source: str, path: Path, select: Iterable[str] | None = None
+) -> list[LintFinding]:
+    """Lint already-read source text (``path`` supplies rule context)."""
+    module = _module_key(path, source)
+    tree = ast.parse(source, filename=str(path))
+    visitor = _Visitor(module, str(path))
+    visitor.visit(tree)
+    suppressed = _noqa_lines(source)
+    selected = frozenset(select) if select is not None else None
+    findings = []
+    for finding in visitor.findings:
+        if selected is not None and finding.rule not in selected:
+            continue
+        rules = suppressed.get(finding.line, frozenset())
+        if rules is None or finding.rule in rules:
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: Path, select: Iterable[str] | None = None) -> list[LintFinding]:
+    """Lint one ``.py`` file."""
+    return lint_source(path.read_text(encoding="utf-8"), path, select=select)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path], select: Iterable[str] | None = None
+) -> list[LintFinding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[LintFinding] = []
+    for path in _iter_python_files(paths):
+        findings.extend(lint_file(path, select=select))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.lint",
+        description="Project-specific AST lint rules (REPRO001-REPRO006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        type=lambda text: [part.strip().upper() for part in text.split(",") if part],
+        default=None,
+        help="comma-separated rule ids to enable (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+
+    paths = args.paths or [Path("src/repro")]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"path does not exist: {path}")
+    if args.select:
+        unknown = [rule for rule in args.select if rule not in RULES]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    findings = lint_paths(paths, select=args.select)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

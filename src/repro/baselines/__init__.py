@@ -1,5 +1,7 @@
 """Exact query baselines: bidirectional BFS and label-restricted CH."""
 
+from __future__ import annotations
+
 from .bidirectional import BidirectionalBFSBaseline, UnidirectionalBFSBaseline
 from .rice_tsotras import LabelConstrainedCH
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import heapq
 
 from ..graph.labeled_graph import EdgeLabeledGraph
+from ..graph.labelsets import label_bit
 from ..core.types import DistanceOracle
 
 __all__ = ["LabelConstrainedCH"]
@@ -95,7 +96,7 @@ class LabelConstrainedCH(DistanceOracle):
         # Working adjacency: adj[u][v] -> Pareto list of (weight, mask).
         adj: list[dict[int, list[tuple[int, int]]]] = [dict() for _ in range(n)]
         for u, v, label in self.graph.iter_edges():
-            mask = 1 << label
+            mask = label_bit(label)
             _pareto_insert(adj[u].setdefault(v, []), 1, mask)
             _pareto_insert(adj[v].setdefault(u, []), 1, mask)
 

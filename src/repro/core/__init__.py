@@ -1,5 +1,7 @@
 """Core distance-oracle layer: exact baseline, PowCov, ChromLand, naive index."""
 
+from __future__ import annotations
+
 from .chromland import ChromLandIndex, local_search_selection
 from .exact import ExactDijkstraOracle, ExactOracle
 from .naive import NaivePowersetIndex

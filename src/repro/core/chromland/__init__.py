@@ -1,5 +1,7 @@
 """Chromatic Landmarks index (Section 4 of the paper)."""
 
+from __future__ import annotations
+
 from .index import ChromLandIndex
 from .query import auxiliary_graph_distance, simple_triangle_distance
 from .selection import (

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
+from ...graph.labelsets import label_bit, np_label_bits
 from ...graph.traversal import UNREACHABLE
 from ...perf.batched import batched_constrained_bfs
 from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
@@ -82,7 +83,7 @@ class ChromLandIndex(DistanceOracle):
         #: ``(k, k)`` bi-chromatic distances, ``-1`` unreachable/same color.
         self.bi: np.ndarray | None = None
         #: per-landmark color bit, precomputed for query filtering.
-        self._color_bits = np.left_shift(np.int64(1), self.colors)
+        self._color_bits = np_label_bits(self.colors)
         self._built = False
 
     @property
@@ -129,15 +130,15 @@ class ChromLandIndex(DistanceOracle):
         for i in range(k):
             x = int(self.landmarks[i])
             own_color = int(self.colors[i])
-            jobs.append((0, x, 1 << own_color, False))
+            jobs.append((0, x, label_bit(own_color), False))
             unpackers.append(("mono", i))
             if directed:
-                jobs.append((1, x, 1 << own_color, False))
+                jobs.append((1, x, label_bit(own_color), False))
                 unpackers.append(("mono_in", i))
             for other_color in color_values:
                 if other_color == own_color:
                     continue
-                mask = (1 << own_color) | (1 << other_color)
+                mask = label_bit(own_color) | label_bit(other_color)
                 jobs.append((0, x, mask, True))
                 unpackers.append(("bi", i, other_color))
         results = run_tasks(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
+from ...graph.labelsets import label_bit
 from ...graph.traversal import constrained_bfs
 
 __all__ = [
@@ -50,7 +51,7 @@ class ChromLandSelection:
 
 def _similarity_row(graph: EdgeLabeledGraph, vertex: int, color: int) -> np.ndarray:
     """``sim_c(⟨vertex, color⟩, ·)`` as a dense float32 row."""
-    dist = constrained_bfs(graph, vertex, 1 << color)
+    dist = constrained_bfs(graph, vertex, label_bit(color))
     row = np.zeros(graph.num_vertices, dtype=np.float32)
     reachable = dist > 0
     row[reachable] = 1.0 / dist[reachable]

@@ -1,5 +1,7 @@
 """Powerset Cover index (Section 3 of the paper)."""
 
+from __future__ import annotations
+
 from .index import PowCovIndex
 from .spminimal import (
     LandmarkSPMinimal,

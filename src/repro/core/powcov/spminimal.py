@@ -41,6 +41,7 @@ from ...graph.labeled_graph import EdgeLabeledGraph
 from ...graph.labelsets import (
     full_mask,
     iter_one_removed,
+    label_bit,
     popcount,
     singleton_masks,
 )
@@ -143,7 +144,7 @@ def generate_candidates_apriori(graph: EdgeLabeledGraph, landmark: int) -> list[
             # Extend with labels above the highest bit: each set is built
             # exactly once, in sorted label order.
             for label in range(complement.bit_length(), graph.num_labels):
-                joined = complement | (1 << label)
+                joined = complement | label_bit(label)
                 if joined in next_level:
                     continue
                 if (joined & incident) == incident:

@@ -26,7 +26,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
-from ...graph.labelsets import iter_one_removed, popcount
+from ...graph.labelsets import full_mask, iter_one_removed, popcount
 from ...graph.traversal import constrained_dijkstra
 from .index import PowCovIndex
 from .spminimal import LandmarkSPMinimal, generate_candidates
@@ -53,7 +53,7 @@ def weighted_sp_minimal(
     if use_obs1:
         candidates = generate_candidates(graph, landmark)
     else:
-        candidates = list(range(1, (1 << graph.num_labels)))
+        candidates = list(range(1, full_mask(graph.num_labels) + 1))
     if not candidates:
         return result
 

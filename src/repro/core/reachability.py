@@ -21,7 +21,7 @@ This module makes the specialization explicit:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from ..graph.labeled_graph import EdgeLabeledGraph
 from ..graph.labelsets import is_proper_subset
@@ -121,7 +121,9 @@ class LandmarkReachabilityIndex:
             return False
         return exact_reachable(self.graph, source, target, label_mask)
 
-    def certificate_rate(self, queries) -> float:
+    def certificate_rate(
+        self, queries: Iterable[tuple[int, int, int]]
+    ) -> float:
         """Fraction of reachable test queries certified without BFS fallback.
 
         ``queries`` is an iterable of ``(source, target, label_mask)``

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from ..graph.labelsets import labels_from_mask
+from ..graph.labelsets import label_bit, labels_from_mask
 
 __all__ = ["LabelSetTrie"]
 
@@ -88,7 +88,7 @@ class LabelSetTrie:
             if node.terminal:
                 return True
             for label, child in node.children.items():
-                if constraint_mask & (1 << label):
+                if constraint_mask & label_bit(label):
                     stack.append(child)
         return False
 
@@ -101,8 +101,8 @@ class LabelSetTrie:
             if node.terminal:
                 results.append(prefix)
             for label, child in node.children.items():
-                if constraint_mask & (1 << label):
-                    stack.append((child, prefix | (1 << label)))
+                if constraint_mask & label_bit(label):
+                    stack.append((child, prefix | label_bit(label)))
         return results
 
     def supersets_of(self, query_mask: int) -> list[int]:
@@ -127,7 +127,7 @@ class LabelSetTrie:
                         continue  # sorted order: the required label was skipped
                     if label == required[need_idx]:
                         next_need += 1
-                stack.append((child, prefix | (1 << label), next_need))
+                stack.append((child, prefix | label_bit(label), next_need))
         return results
 
     def iter_masks(self) -> Iterator[int]:
@@ -138,7 +138,7 @@ class LabelSetTrie:
             if node.terminal:
                 yield prefix
             for label, child in node.children.items():
-                stack.append((child, prefix | (1 << label)))
+                stack.append((child, prefix | label_bit(label)))
 
     def node_count(self) -> int:
         """Number of trie nodes (storage-cost proxy for the ablation bench)."""

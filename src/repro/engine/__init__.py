@@ -25,6 +25,8 @@ with caches on or off.  Quickstart::
     print(session.format_stats())
 """
 
+from __future__ import annotations
+
 from .config import EngineConfig, default_engine, resolve_engine, set_default_engine
 from .executors import (
     ChromLandExecutor,

@@ -16,11 +16,20 @@ __all__ = ["EngineConfig", "set_default_engine", "default_engine", "resolve_engi
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """How the evaluation harness should execute queries."""
+    """How the evaluation harness should execute queries.
+
+    ``audit`` is a debug flag: sessions created under it run the
+    :mod:`repro.analysis.audit` invariant auditors against the wrapped
+    oracle (and its graph) at construction time and raise
+    :class:`~repro.analysis.audit.AuditError` on any violation.  It is
+    off by default — the audits re-derive distances with constrained BFS
+    and are far too slow for production query serving.
+    """
 
     enabled: bool = False
     cache_size: int = 4096
     plan_cache_size: int = 128
+    audit: bool = False
 
 
 _DEFAULT = EngineConfig()

@@ -31,6 +31,8 @@ defining ``make_batch_executor()``.
 
 from __future__ import annotations
 
+from typing import Any, Generic, TypeVar, cast
+
 import numpy as np
 
 from ..core.chromland import ChromLandIndex
@@ -55,25 +57,33 @@ __all__ = [
 ]
 
 
-class OracleExecutor:
+#: Oracle type an executor is specialized for.
+OracleT = TypeVar("OracleT", bound=DistanceOracle)
+#: Per-mask plan type produced by ``prepare_mask`` / consumed by
+#: ``execute_group`` — parametrized so overrides stay LSP-compatible.
+PlanT = TypeVar("PlanT")
+
+
+class OracleExecutor(Generic[OracleT, PlanT]):
     """Base class: mask-plan preparation + group execution."""
 
-    def __init__(self, oracle: DistanceOracle):
-        self.oracle = oracle
+    def __init__(self, oracle: OracleT) -> None:
+        self.oracle: OracleT = oracle
 
-    def prepare_mask(self, label_mask: int):
+    def prepare_mask(self, label_mask: int) -> PlanT:
         """Build the reusable per-mask state (cached by the session)."""
-        return label_mask
+        # Executors with no per-mask state reuse the mask itself as plan.
+        return cast("PlanT", label_mask)
 
-    def execute_group(self, mask_plan, group: MaskGroup) -> np.ndarray:
+    def execute_group(self, mask_plan: PlanT, group: MaskGroup) -> np.ndarray:
         """Answer every query of ``group`` (float64, ``inf`` = unreachable)."""
         raise NotImplementedError
 
 
-class ScalarLoopExecutor(OracleExecutor):
+class ScalarLoopExecutor(OracleExecutor[DistanceOracle, int]):
     """The reference path as an executor: one ``oracle.query`` per query."""
 
-    def execute_group(self, mask_plan, group: MaskGroup) -> np.ndarray:
+    def execute_group(self, mask_plan: int, group: MaskGroup) -> np.ndarray:
         query = self.oracle.query
         mask = group.label_mask
         out = np.empty(len(group), dtype=np.float64)
@@ -96,7 +106,9 @@ class _PackedView:
 
     __slots__ = ("offsets", "dist", "mask", "landmark", "k")
 
-    def __init__(self, flat: list[dict[int, list[tuple]]], num_vertices: int):
+    def __init__(
+        self, flat: list[dict[int, list[tuple[int, int]]]], num_vertices: int
+    ) -> None:
         self.k = len(flat)
         total = sum(len(pairs) for entries in flat for pairs in entries.values())
         vertex = np.empty(total, dtype=np.int64)
@@ -165,7 +177,7 @@ class _RowCache:
 
     __slots__ = ("row_of", "data", "size")
 
-    def __init__(self, k: int):
+    def __init__(self, k: int) -> None:
         self.row_of: dict[int, int] = {}
         self.data = np.empty((16, k), dtype=np.float64)
         self.size = 0
@@ -187,16 +199,16 @@ class _PowCovMaskPlan:
 
     __slots__ = ("label_mask", "rows", "rows_reverse")
 
-    def __init__(self, label_mask: int, k: int, directed: bool):
+    def __init__(self, label_mask: int, k: int, directed: bool) -> None:
         self.label_mask = label_mask
         self.rows = _RowCache(k)
         self.rows_reverse = _RowCache(k) if directed else None
 
 
-class PowCovExecutor(OracleExecutor):
+class PowCovExecutor(OracleExecutor[PowCovIndex, _PowCovMaskPlan]):
     """Vectorized Theorem 1 + triangle inequality over mask groups."""
 
-    def __init__(self, oracle: PowCovIndex):
+    def __init__(self, oracle: PowCovIndex) -> None:
         super().__init__(oracle)
         oracle._require_built()  # noqa: SLF001 - engine is a friend module
         n = oracle.graph.num_vertices
@@ -236,31 +248,33 @@ class PowCovExecutor(OracleExecutor):
         )
         return cache.data[idx]
 
-    def execute_group(self, plan: _PowCovMaskPlan, group: MaskGroup) -> np.ndarray:
+    def execute_group(
+        self, mask_plan: _PowCovMaskPlan, group: MaskGroup
+    ) -> np.ndarray:
         out = np.empty(len(group), dtype=np.float64)
         same = group.sources == group.targets
         out[same] = 0.0
         live = ~same
-        if plan.label_mask == 0:
+        if mask_plan.label_mask == 0:
             out[live] = INF
             return out
         if not live.any():
             return out
         sources = group.sources[live]
         targets = group.targets[live]
-        mask = plan.label_mask
+        mask = mask_plan.label_mask
         if self._reverse is not None:
             # Directed estimate: min_x d_C(s → x) + d_C(x → t); the s-leg
             # comes from the reversed-graph tables.
             su, s_inv = np.unique(sources, return_inverse=True)
             tu, t_inv = np.unique(targets, return_inverse=True)
-            ds = self._gather(mask, su, self._reverse, plan.rows_reverse)[s_inv]
-            dt = self._gather(mask, tu, self._forward, plan.rows)[t_inv]
+            ds = self._gather(mask, su, self._reverse, mask_plan.rows_reverse)[s_inv]
+            dt = self._gather(mask, tu, self._forward, mask_plan.rows)[t_inv]
         else:
             endpoints, inverse = np.unique(
                 np.concatenate([sources, targets]), return_inverse=True
             )
-            matrix = self._gather(mask, endpoints, self._forward, plan.rows)
+            matrix = self._gather(mask, endpoints, self._forward, mask_plan.rows)
             ds = matrix[inverse[: len(sources)]]
             dt = matrix[inverse[len(sources):]]
         sums = ds + dt
@@ -286,17 +300,17 @@ class _ChromLandMaskPlan:
     __slots__ = ("label_mask", "usable", "auxiliary")
 
     def __init__(self, label_mask: int, usable: np.ndarray,
-                 auxiliary: AuxiliaryPlan | None):
+                 auxiliary: AuxiliaryPlan | None) -> None:
         self.label_mask = label_mask
         self.usable = usable
         #: prepared Theorem 5 plan (``None`` in "simple" query mode).
         self.auxiliary = auxiliary
 
 
-class ChromLandExecutor(OracleExecutor):
+class ChromLandExecutor(OracleExecutor[ChromLandIndex, _ChromLandMaskPlan]):
     """Shared usable-filter + auxiliary adjacency per mask group."""
 
-    def __init__(self, oracle: ChromLandIndex):
+    def __init__(self, oracle: ChromLandIndex) -> None:
         super().__init__(oracle)
         oracle._require_built()  # noqa: SLF001 - engine is a friend module
 
@@ -308,12 +322,14 @@ class ChromLandExecutor(OracleExecutor):
             auxiliary = prepare_auxiliary(oracle.bi, oracle.colors, usable)
         return _ChromLandMaskPlan(label_mask, usable, auxiliary)
 
-    def execute_group(self, plan: _ChromLandMaskPlan, group: MaskGroup) -> np.ndarray:
+    def execute_group(
+        self, mask_plan: _ChromLandMaskPlan, group: MaskGroup
+    ) -> np.ndarray:
         out = np.empty(len(group), dtype=np.float64)
         same = group.sources == group.targets
         out[same] = 0.0
         live = ~same
-        if plan.label_mask == 0 or len(plan.usable) == 0:
+        if mask_plan.label_mask == 0 or len(mask_plan.usable) == 0:
             out[live] = INF
             return out
         if not live.any():
@@ -323,8 +339,8 @@ class ChromLandExecutor(OracleExecutor):
         targets = group.targets[live]
         source_table = oracle.mono if oracle.mono_in is None else oracle.mono_in
         # (k_usable, g) legs for the whole group, sentinel-converted once.
-        ds = source_table[np.ix_(plan.usable, sources)].astype(np.float64)
-        dt = oracle.mono[np.ix_(plan.usable, targets)].astype(np.float64)
+        ds = source_table[np.ix_(mask_plan.usable, sources)].astype(np.float64)
+        dt = oracle.mono[np.ix_(mask_plan.usable, targets)].astype(np.float64)
         ds[ds == UNREACHABLE] = INF
         dt[dt == UNREACHABLE] = INF
         if oracle.query_mode == "simple":
@@ -333,7 +349,7 @@ class ChromLandExecutor(OracleExecutor):
             estimates = np.empty(ds.shape[1], dtype=np.float64)
             for i in range(ds.shape[1]):
                 estimates[i] = auxiliary_distance_from_plan(
-                    plan.auxiliary, ds[:, i], dt[:, i]
+                    mask_plan.auxiliary, ds[:, i], dt[:, i]
                 )
             out[live] = estimates
         return out
@@ -342,10 +358,10 @@ class ChromLandExecutor(OracleExecutor):
 # ----------------------------------------------------------------------
 # Naive powerset
 # ----------------------------------------------------------------------
-class NaiveExecutor(OracleExecutor):
+class NaiveExecutor(OracleExecutor[NaivePowersetIndex, "np.ndarray | None"]):
     """Stacked exact-distance matrix per mask; two gathers per group."""
 
-    def __init__(self, oracle: NaivePowersetIndex):
+    def __init__(self, oracle: NaivePowersetIndex) -> None:
         super().__init__(oracle)
         oracle._require_built()  # noqa: SLF001 - engine is a friend module
 
@@ -355,7 +371,7 @@ class NaiveExecutor(OracleExecutor):
         tables = self.oracle._distances  # noqa: SLF001 - engine is a friend
         return np.stack([per_mask[label_mask] for per_mask in tables])
 
-    def execute_group(self, mask_plan, group: MaskGroup) -> np.ndarray:
+    def execute_group(self, mask_plan: np.ndarray | None, group: MaskGroup) -> np.ndarray:
         out = np.empty(len(group), dtype=np.float64)
         same = group.sources == group.targets
         out[same] = 0.0
@@ -373,7 +389,7 @@ class NaiveExecutor(OracleExecutor):
         return out
 
 
-def executor_for(oracle: DistanceOracle) -> OracleExecutor:
+def executor_for(oracle: DistanceOracle) -> OracleExecutor[Any, Any]:
     """Pick the batch executor for ``oracle`` (scalar loop as fallback).
 
     The PowCov executor packs the whole flat table at construction, so it

@@ -35,6 +35,7 @@ experiment created.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from contextlib import contextmanager
 from time import perf_counter
 
@@ -65,7 +66,7 @@ class Instrumentation:
 
     __slots__ = ("counters", "seconds")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.seconds: dict[str, float] = {}
 
@@ -76,7 +77,7 @@ class Instrumentation:
         self.seconds[name] = self.seconds.get(name, 0.0) + value
 
     @contextmanager
-    def timed(self, name: str):
+    def timed(self, name: str) -> Iterator[None]:
         """Accumulate the wall time of the enclosed block under ``name``."""
         started = perf_counter()
         try:
@@ -84,7 +85,7 @@ class Instrumentation:
         finally:
             self.add_seconds(name, perf_counter() - started)
 
-    def merge(self, other: "Instrumentation") -> None:
+    def merge(self, other: Instrumentation) -> None:
         for name, value in other.counters.items():
             self.count(name, value)
         for name, value in other.seconds.items():

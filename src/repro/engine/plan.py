@@ -16,13 +16,29 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import Any, Protocol
 
 import numpy as np
 
-__all__ = ["MaskGroup", "ExecutionPlan", "plan_batch", "as_triple", "to_triple_array"]
+__all__ = [
+    "MaskGroup",
+    "ExecutionPlan",
+    "QueryLike",
+    "plan_batch",
+    "as_triple",
+    "to_triple_array",
+]
 
 
-def as_triple(query) -> tuple[int, int, int]:
+class QueryLike(Protocol):
+    """Anything with query fields: ``Query``, ``LabeledQuery``, ..."""
+
+    source: int
+    target: int
+    label_mask: int
+
+
+def as_triple(query: QueryLike | tuple[int, ...]) -> tuple[int, int, int]:
     """Normalize a ``Query`` / ``LabeledQuery`` / plain triple to a tuple."""
     if isinstance(query, tuple):
         source, target, mask = query[0], query[1], query[2]
@@ -31,7 +47,7 @@ def as_triple(query) -> tuple[int, int, int]:
     return int(source), int(target), int(mask)
 
 
-def to_triple_array(queries: Sequence) -> np.ndarray:
+def to_triple_array(queries: Sequence[Any] | np.ndarray) -> np.ndarray:
     """Normalize a batch to an ``(n, 3)`` int64 array of (s, t, mask) rows.
 
     Plain tuple/list batches convert in one C-level pass; batches of
@@ -76,7 +92,7 @@ class ExecutionPlan:
         return len(self.groups)
 
 
-def plan_batch(queries: Sequence) -> ExecutionPlan:
+def plan_batch(queries: Sequence[Any] | np.ndarray) -> ExecutionPlan:
     """Partition ``queries`` (Query objects, triples, or an (n, 3) array)."""
     arr = to_triple_array(queries)
     n = len(arr)
@@ -86,7 +102,7 @@ def plan_batch(queries: Sequence) -> ExecutionPlan:
     order = np.argsort(inverse, kind="stable")
     starts = np.searchsorted(inverse[order], np.arange(len(unique_masks)))
     ends = np.append(starts[1:], n)
-    groups = []
+    groups: list[MaskGroup] = []
     for i, mask in enumerate(unique_masks.tolist()):
         positions = order[starts[i]:ends[i]]
         groups.append(

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -49,6 +50,12 @@ class QuerySession:
         answer caching (batches are still executed vectorized).
     plan_cache_size:
         Number of distinct masks whose prepared plans are retained.
+    audit:
+        Debug flag (``EngineConfig.audit``): run the
+        :mod:`repro.analysis.audit` invariant auditors against the oracle
+        before serving anything, raising
+        :class:`~repro.analysis.audit.AuditError` on a violation.  Slow —
+        the auditors re-derive distances with constrained BFS.
     """
 
     def __init__(
@@ -56,18 +63,25 @@ class QuerySession:
         oracle: DistanceOracle,
         cache_size: int = 4096,
         plan_cache_size: int = 128,
-    ):
+        audit: bool = False,
+    ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
         if plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
+        if audit:
+            # Local import: the auditors pull in the index packages, which
+            # the engine otherwise only needs lazily.
+            from ..analysis.audit import assert_clean, audit_oracle
+
+            assert_clean(audit_oracle(oracle))
         self.oracle = oracle
-        self.executor: OracleExecutor = executor_for(oracle)
+        self.executor: OracleExecutor[Any, Any] = executor_for(oracle)
         self.cache_size = cache_size
         self.plan_cache_size = plan_cache_size
         self.stats = Instrumentation()
         self._answers: OrderedDict[tuple[int, int, int], float] = OrderedDict()
-        self._plans: OrderedDict[int, object] = OrderedDict()
+        self._plans: OrderedDict[int, Any] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Caches
@@ -88,7 +102,7 @@ class QuerySession:
             self._answers.popitem(last=False)
             self.stats.count("cache_evictions")
 
-    def _plan_for(self, label_mask: int):
+    def _plan_for(self, label_mask: int) -> Any:
         plan = self._plans.get(label_mask)
         if plan is not None or label_mask in self._plans:
             self._plans.move_to_end(label_mask)
@@ -135,7 +149,7 @@ class QuerySession:
         self._cache_put(key, value)
         return value
 
-    def run(self, queries: Sequence) -> list[float]:
+    def run(self, queries: Sequence[Any] | np.ndarray) -> list[float]:
         """Answer a batch through the planned, vectorized path.
 
         Accepts ``Query`` objects, ``LabeledQuery`` objects, plain
@@ -180,7 +194,7 @@ class QuerySession:
                     self._cache_put(queries[i], value)
             return answers  # type: ignore[return-value]
 
-    def _execute(self, arr: "np.ndarray") -> "np.ndarray":
+    def _execute(self, arr: np.ndarray) -> np.ndarray:
         """Plan + execute an ``(n, 3)`` miss array; answers by position."""
         self.stats.count("executed", len(arr))
         with self.stats.timed("plan_seconds"):
@@ -194,13 +208,13 @@ class QuerySession:
         return out
 
     def run_stream(
-        self, stream: Iterable, batch_size: int = 1024
+        self, stream: Iterable[Any], batch_size: int = 1024
     ) -> list[float]:
         """Drain an iterable of triples through ``run`` in batches."""
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         answers: list[float] = []
-        batch: list = []
+        batch: list[Any] = []
         for item in stream:
             batch.append(item)
             if len(batch) >= batch_size:
@@ -229,7 +243,9 @@ class QuerySession:
         )
 
 
-def execute_batch(oracle: DistanceOracle, queries: Sequence) -> list[float]:
+def execute_batch(
+    oracle: DistanceOracle, queries: Sequence[Any] | np.ndarray
+) -> list[float]:
     """One-shot batch execution, no caches: plan, group, execute.
 
     This is what ``DistanceOracle.batch_query`` delegates to; results are

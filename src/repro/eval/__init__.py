@@ -1,5 +1,7 @@
 """Experiment harness: metrics, runners, and table/figure regeneration."""
 
+from __future__ import annotations
+
 from .metrics import OracleMetrics, evaluate_oracle, time_oracle
 from .runner import (
     IndexRun,

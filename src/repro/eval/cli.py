@@ -88,6 +88,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="engine answer-cache entries per session "
                         "(0 disables answer caching; only meaningful "
                         "with --engine)")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="before running the command, build small "
+                        "instances of both indexes and run the invariant "
+                        "auditors (repro.analysis.audit) against them; "
+                        "exits non-zero on any violation")
+    parser.add_argument("--audit", action="store_true",
+                        help="with --engine: audit every oracle a session "
+                        "wraps before serving queries (slow; debug only)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the output to this file")
     parser.add_argument("--csv-dir", type=str, default=None,
@@ -102,13 +110,25 @@ def main(argv: list[str] | None = None) -> int:
         set_default_parallel(ParallelConfig(num_workers=args.workers))
     if args.cache_size < 0:
         parser.error("argument --cache-size: must be >= 0")
+    if args.audit and not args.engine:
+        parser.error("argument --audit: requires --engine")
     if args.engine:
         from ..engine import EngineConfig, reset_global, set_default_engine
 
         set_default_engine(
-            EngineConfig(enabled=True, cache_size=args.cache_size)
+            EngineConfig(enabled=True, cache_size=args.cache_size,
+                         audit=args.audit)
         )
         reset_global()
+    if args.selfcheck:
+        from ..analysis.audit import format_report, run_selfcheck
+
+        violations = run_selfcheck(scale=min(args.scale, 0.5), seed=args.seed)
+        if violations:
+            print(format_report(violations), file=sys.stderr)
+            return 1
+        print("[repro.eval.cli] selfcheck passed: graph substrate and both "
+              "index builders uphold their invariants")
 
     sections: list[str] = []
 

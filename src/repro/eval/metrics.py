@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import math
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core.types import DistanceOracle
 from ..engine import EngineConfig, QuerySession, resolve_engine
-from ..workloads.queries import Workload
+from ..workloads.queries import LabeledQuery, Workload
 
 __all__ = ["OracleMetrics", "evaluate_oracle", "time_oracle"]
 
@@ -56,7 +57,7 @@ class OracleMetrics:
 
 
 def _answer_workload(
-    oracle: DistanceOracle, queries, config: EngineConfig
+    oracle: DistanceOracle, queries: Sequence[LabeledQuery], config: EngineConfig
 ) -> list[float]:
     """One estimate per query, scalar or batched per ``config``."""
     if not config.enabled:
@@ -65,6 +66,7 @@ def _answer_workload(
         oracle,
         cache_size=config.cache_size,
         plan_cache_size=config.plan_cache_size,
+        audit=config.audit,
     )
     estimates = session.run([(q.source, q.target, q.label_mask) for q in queries])
     session.publish_stats()
@@ -153,6 +155,7 @@ def time_oracle(
             oracle,
             cache_size=config.cache_size,
             plan_cache_size=config.plan_cache_size,
+            audit=config.audit,
         )
         triples = [(q.source, q.target, q.label_mask) for q in queries]
         started = time.perf_counter()

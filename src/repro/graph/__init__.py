@@ -1,5 +1,7 @@
 """Edge-labeled graph substrate: graph type, traversal, generators, datasets."""
 
+from __future__ import annotations
+
 from .builder import GraphBuilder
 from .labeled_graph import EdgeLabeledGraph
 from .labelsets import (

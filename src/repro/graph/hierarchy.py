@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from .labeled_graph import EdgeLabeledGraph
+from .labelsets import label_bit
 from .transform import merge_labels
 
 __all__ = ["LabelHierarchy"]
@@ -123,7 +124,7 @@ class LabelHierarchy:
             leaves = self.leaves_under(name) if name in self.nodes else {name}
             for leaf in leaves:
                 if leaf in graph.label_universe:
-                    result |= 1 << graph.label_universe.id(leaf)
+                    result |= label_bit(graph.label_universe.id(leaf))
         return result
 
     def collapse(self, graph: EdgeLabeledGraph, depth: int = 0) -> EdgeLabeledGraph:

@@ -18,7 +18,7 @@ from collections.abc import Iterable, Iterator
 
 import numpy as np
 
-from .labelsets import LabelUniverse, full_mask, mask_from_labels
+from .labelsets import LabelUniverse, full_mask, mask_from_labels, np_label_bits
 
 __all__ = ["EdgeLabeledGraph"]
 
@@ -243,15 +243,13 @@ class EdgeLabeledGraph:
             arc_sources = np.repeat(
                 np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
             )
-            np.bitwise_or.at(
-                masks, arc_sources, np.left_shift(1, self.edge_labels.astype(np.int64))
-            )
+            np.bitwise_or.at(masks, arc_sources, np_label_bits(self.edge_labels))
             if self.directed:
                 # Incidence for directed graphs counts in-arcs as well.
                 np.bitwise_or.at(
                     masks,
                     self.neighbors.astype(np.int64),
-                    np.left_shift(1, self.edge_labels.astype(np.int64)),
+                    np_label_bits(self.edge_labels),
                 )
             self._incident_label_masks = masks
         return self._incident_label_masks
@@ -278,7 +276,7 @@ class EdgeLabeledGraph:
         never materialize it (they filter during traversal) but the exact
         baseline and several tests do.
         """
-        keep = (np.left_shift(1, self.edge_labels.astype(np.int64)) & mask) != 0
+        keep = (np_label_bits(self.edge_labels) & mask) != 0
         arc_sources = np.repeat(
             np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
         )

@@ -15,9 +15,16 @@ bit-twiddling stays in one place.  All functions are pure.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import numpy as np
+    import numpy.typing as npt
 
 __all__ = [
     "EMPTY",
+    "label_bit",
+    "np_label_bits",
     "mask_from_labels",
     "labels_from_mask",
     "full_mask",
@@ -49,6 +56,35 @@ else:  # pragma: no cover - exercised only on Python < 3.10
     def popcount(mask: int) -> int:
         """Number of labels in ``mask``."""
         return bin(mask).count("1")
+
+
+def label_bit(label: int) -> int:
+    """The singleton mask ``{label}``.
+
+    The canonical way to turn one dense label id into a mask — the REPRO002
+    lint rule bans raw ``1 << label`` shifts outside this module so that
+    every mask in the code base goes through validated constructors.
+
+    >>> label_bit(2)
+    4
+    """
+    if label < 0:
+        raise ValueError(f"label ids must be non-negative, got {label}")
+    return 1 << label
+
+
+def np_label_bits(labels: "npt.ArrayLike") -> "npt.NDArray[np.int64]":
+    """Vectorized :func:`label_bit`: per-element ``int64`` singleton masks.
+
+    ``labels`` is a numpy integer array (any shape); the result has the
+    same shape with ``result[i] = 1 << labels[i]`` as ``int64``.  Only
+    valid for label ids below 63 — beyond that callers must stay in
+    Python-int mask land (see ``EdgeLabeledGraph.incident_label_masks``).
+    """
+    import numpy  # local: keep the scalar helpers importable without numpy
+
+    arr = numpy.asarray(labels)
+    return numpy.left_shift(numpy.int64(1), arr.astype(numpy.int64))
 
 
 def mask_from_labels(labels: Iterable[int]) -> int:

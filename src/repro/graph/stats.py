@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .labeled_graph import EdgeLabeledGraph
+from .labelsets import label_bit
 from .traversal import connected_components
 
 __all__ = [
@@ -96,7 +97,7 @@ def per_label_connectivity(graph: EdgeLabeledGraph) -> list[LabelConnectivity]:
     """
     results = []
     for label in range(graph.num_labels):
-        sub = graph.subgraph_by_mask(1 << label)
+        sub = graph.subgraph_by_mask(label_bit(label))
         touched = np.zeros(graph.num_vertices, dtype=bool)
         for u, v, _ in sub.iter_edges():
             touched[u] = True

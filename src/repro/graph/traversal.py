@@ -19,7 +19,7 @@ import math
 import numpy as np
 
 from .labeled_graph import EdgeLabeledGraph
-from .labelsets import full_mask
+from .labelsets import full_mask, np_label_bits
 
 __all__ = [
     "UNREACHABLE",
@@ -434,7 +434,7 @@ def monochromatic_sp_labels(graph: EdgeLabeledGraph, source: int) -> np.ndarray:
     mono = np.zeros(graph.num_vertices, dtype=np.int64)
     mono[source] = full_mask(graph.num_labels)
     for sources, targets, labels in tree_edges[1:]:
-        contribution = mono[sources] & np.left_shift(np.int64(1), labels)
+        contribution = mono[sources] & np_label_bits(labels)
         np.bitwise_or.at(mono, targets, contribution)
     return mono
 

@@ -1,5 +1,7 @@
 """Landmark-selection strategies (Sections 3.3, 4.3 and 5.3)."""
 
+from __future__ import annotations
+
 from .betweenness import approximate_betweenness, top_betweenness_vertices
 from .strategies import STRATEGIES, select_landmarks
 from .vertex_cover import (

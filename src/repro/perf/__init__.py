@@ -18,6 +18,8 @@ package provides the three pieces that exploit both facts:
   across sources.
 """
 
+from __future__ import annotations
+
 from .batched import batched_constrained_bfs, exact_workload_distances
 from .parallel import (
     ParallelConfig,

@@ -1,5 +1,7 @@
 """Query workload generation (Section 5 experimental setup)."""
 
+from __future__ import annotations
+
 from .queries import LabeledQuery, Workload, generate_workload, random_label_set
 from .streams import (
     fixed_context_stream,

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.labeled_graph import EdgeLabeledGraph
-from ..graph.labelsets import full_mask
+from ..graph.labelsets import full_mask, label_bit
 from ..graph.traversal import UNREACHABLE, bfs, bidirectional_constrained_bfs
 
 __all__ = ["LabeledQuery", "Workload", "generate_workload", "random_label_set"]
@@ -67,7 +67,7 @@ def random_label_set(rng: np.random.Generator, num_labels: int, size: int) -> in
     labels = rng.choice(num_labels, size=size, replace=False)
     mask = 0
     for label in labels:
-        mask |= 1 << int(label)
+        mask |= label_bit(int(label))
     return mask
 
 

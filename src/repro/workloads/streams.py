@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.types import DistanceOracle
 from ..graph.labeled_graph import EdgeLabeledGraph
+from ..graph.labelsets import full_mask
 from ..graph.traversal import UNREACHABLE, constrained_bfs
 from .queries import random_label_set
 
@@ -95,7 +96,7 @@ def locality_biased_stream(
         if len(in_ball) < 2:
             continue
         per_center = min(8, num_queries - len(queries))
-        mask = (1 << graph.num_labels) - 1
+        mask = full_mask(graph.num_labels)
         for _ in range(per_center):
             s, t = rng.choice(in_ball, size=2, replace=False)
             queries.append((int(s), int(t), mask))

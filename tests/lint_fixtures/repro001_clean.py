@@ -1,0 +1,12 @@
+# lint-module: repro/graph/labeled_graph.py
+"""Fixture: the owning module may build and finalize its CSR arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _finalize(graph: object, value: int) -> None:
+    graph.indptr[0] = value
+    graph.neighbors.setflags(write=False)
+    np.add.at(graph.edge_labels, 0, value)

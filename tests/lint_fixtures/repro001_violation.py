@@ -1,0 +1,12 @@
+# lint-module: repro/core/serialize.py
+"""Fixture: every REPRO001 mutation form, in a module that must not mutate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _corrupt(graph: object, value: int) -> None:
+    graph.indptr[0] = value
+    graph.neighbors.setflags(write=True)
+    np.add.at(graph.edge_labels, 0, value)

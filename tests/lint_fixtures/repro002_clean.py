@@ -1,0 +1,12 @@
+# lint-module: repro/core/trie.py
+"""Fixture: masks via the labelsets helpers; literal shifts stay legal."""
+
+from __future__ import annotations
+
+from repro.graph.labelsets import label_bit
+
+_FNV_WRAP = 1 << 64
+
+
+def _mask_of(label: int) -> int:
+    return label_bit(label)

@@ -1,0 +1,14 @@
+# lint-module: repro/core/trie.py
+"""Fixture: hand-rolled mask construction outside repro.graph.labelsets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _mask_of(label: int) -> int:
+    return 1 << label
+
+
+def _np_masks(labels: np.ndarray) -> np.ndarray:
+    return np.left_shift(1, labels)

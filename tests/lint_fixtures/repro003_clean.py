@@ -1,0 +1,14 @@
+# lint-module: repro/engine/sampling.py
+"""Fixture: explicitly seeded randomness is deterministic and allowed."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def _draw(seed: int) -> float:
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    return rng.random() + np_rng.random()

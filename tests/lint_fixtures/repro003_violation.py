@@ -1,0 +1,16 @@
+# lint-module: repro/engine/sampling.py
+"""Fixture: hidden-global-state randomness in a deterministic subtree."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def _draw() -> float:
+    value = random.random()
+    noise = np.random.rand()
+    rng = np.random.default_rng()
+    other = random.Random()
+    return value + noise + rng.random() + other.random()

@@ -1,0 +1,16 @@
+# lint-module: repro/engine/executors.py
+"""Fixture: the designated ScalarLoopExecutor fallback may loop per query."""
+
+from __future__ import annotations
+
+
+class ScalarLoopExecutor:
+    """The one executor allowed to draw its loop from the group columns."""
+
+    oracle: object
+
+    def execute_group(self, mask_plan: int, group: object) -> list[float]:
+        out: list[float] = []
+        for s, t in zip(group.sources, group.targets):
+            out.append(self.oracle.query(int(s), int(t), mask_plan))
+        return out

@@ -1,0 +1,16 @@
+# lint-module: repro/engine/executors.py
+"""Fixture: a per-query scalar loop in an executor that should vectorize."""
+
+from __future__ import annotations
+
+
+class FancyExecutor:
+    """Not the designated fallback, so looping the group is a violation."""
+
+    oracle: object
+
+    def execute_group(self, mask_plan: int, group: object) -> list[float]:
+        out: list[float] = []
+        for s, t in zip(group.sources, group.targets):
+            out.append(self.oracle.query(int(s), int(t), mask_plan))
+        return out

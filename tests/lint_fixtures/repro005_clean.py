@@ -1,0 +1,15 @@
+# lint-module: repro/core/api.py
+"""Fixture: only the *public* surface needs annotations."""
+
+from __future__ import annotations
+
+
+def estimate(source: int, target: int, label_mask: int) -> int:
+    def accumulate(parts):
+        return sum(parts)
+
+    return accumulate(_expand(source, target, label_mask))
+
+
+def _expand(source, target, label_mask):
+    return [source, target, label_mask]

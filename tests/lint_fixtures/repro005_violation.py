@@ -1,0 +1,8 @@
+# lint-module: repro/core/api.py
+"""Fixture: an unannotated public function in an annotated subtree."""
+
+from __future__ import annotations
+
+
+def estimate(source, target, label_mask):
+    return source + target + label_mask

@@ -1,0 +1,12 @@
+# lint-module: repro/workloads/report.py
+"""Fixture: printing under the main guard is a script, not library code."""
+
+from __future__ import annotations
+
+
+def _render(value: int) -> str:
+    return str(value)
+
+
+if __name__ == "__main__":
+    print(_render(3))

@@ -1,0 +1,8 @@
+# lint-module: repro/workloads/report.py
+"""Fixture: print in library code."""
+
+from __future__ import annotations
+
+
+def _debug(value: int) -> None:
+    print(value)
