@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.powcov import traverse_powerset
+from repro.core.powcov import traverse_powerset, traverse_powerset_waves
 
 LANDMARK = 3
 
@@ -22,17 +22,38 @@ CONFIGS = {
     "none": dict(use_obs1=False, use_obs2=False, use_obs3=False, use_obs4=False),
 }
 
+#: Both per-landmark build kernels take the same Observation flags and
+#: must produce the same entries under every configuration, so the
+#: ablation runs each config through each kernel.
+KERNELS = {
+    "scalar": traverse_powerset,
+    "wave": traverse_powerset_waves,
+}
 
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
 @pytest.mark.parametrize("config", sorted(CONFIGS))
-def test_pruning_config(benchmark, synthetic_l6, config):
+def test_pruning_config(benchmark, synthetic_l6, config, kernel):
     flags = CONFIGS[config]
+    build = KERNELS[kernel]
     result = benchmark.pedantic(
-        lambda: traverse_powerset(synthetic_l6, LANDMARK, **flags),
+        lambda: build(synthetic_l6, LANDMARK, **flags),
         rounds=2, iterations=1,
     )
     benchmark.extra_info["full_tests"] = result.num_full_tests
     benchmark.extra_info["sssps"] = result.num_sssp
     benchmark.extra_info["auto_minimal"] = result.num_auto_minimal
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_kernels_agree(synthetic_l6, config):
+    flags = CONFIGS[config]
+    scalar = traverse_powerset(synthetic_l6, LANDMARK, **flags)
+    wave = traverse_powerset_waves(synthetic_l6, LANDMARK, **flags)
+    assert wave.entries == scalar.entries
+    assert wave.num_sssp == scalar.num_sssp
+    assert wave.num_full_tests == scalar.num_full_tests
+    assert wave.num_auto_minimal == scalar.num_auto_minimal
 
 
 def test_rules_cut_counters(synthetic_l6):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from .index import PowCovIndex
+from .index import PowCovIndex, get_default_builder, set_default_builder
 from .spminimal import (
     LandmarkSPMinimal,
     brute_force_sp_minimal,
@@ -11,6 +11,7 @@ from .spminimal import (
     traverse_powerset,
 )
 from .stats import IndexSizeReport, compare_index_sizes
+from .waves import traverse_powerset_waves, wave_schedule
 from .weighted import WeightedPowCovIndex, weighted_sp_minimal
 
 __all__ = [
@@ -21,7 +22,11 @@ __all__ = [
     "brute_force_sp_minimal",
     "generate_candidates",
     "generate_candidates_apriori",
+    "get_default_builder",
+    "set_default_builder",
     "traverse_powerset",
+    "traverse_powerset_waves",
+    "wave_schedule",
     "IndexSizeReport",
     "compare_index_sizes",
 ]

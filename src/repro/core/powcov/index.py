@@ -40,12 +40,44 @@ from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
 from ..trie import LabelSetTrie
 from ..types import INF, DistanceOracle, QueryAnswer
 from .spminimal import LandmarkSPMinimal, brute_force_sp_minimal, traverse_powerset
+from .waves import traverse_powerset_waves
 
-__all__ = ["PowCovIndex"]
+__all__ = [
+    "PowCovIndex",
+    "set_default_builder",
+    "get_default_builder",
+]
 
 _STORAGES = ("packed", "flat", "trie")
-_BUILDERS = ("traverse", "traverse-paper", "brute")
+_BUILDERS = ("traverse", "traverse-paper", "brute", "wave", "wave-paper")
 _ESTIMATORS = ("upper", "median")
+
+#: Process-wide default build kernel; the CLI's ``--build-kernel`` flag
+#: routes through :func:`set_default_builder` so every PowCov index built
+#: during an experiment run picks the same kernel without threading a
+#: parameter through every table function.
+_default_builder = "traverse"
+
+
+def set_default_builder(builder: str | None) -> None:
+    """Set the builder used when ``PowCovIndex(builder=None)``.
+
+    ``None`` restores the scalar default (``"traverse"``).  All builders
+    produce bit-for-bit identical indexes, so this only changes build
+    wall-clock time and memory, never output.
+    """
+    global _default_builder
+    if builder is None:
+        _default_builder = "traverse"
+        return
+    if builder not in _BUILDERS:
+        raise ValueError(f"builder must be one of {_BUILDERS}, got {builder!r}")
+    _default_builder = builder
+
+
+def get_default_builder() -> str:
+    """The current process-wide default build kernel."""
+    return _default_builder
 
 
 class PowCovIndex(DistanceOracle):
@@ -57,12 +89,19 @@ class PowCovIndex(DistanceOracle):
         Landmark vertex ids (see :mod:`repro.landmarks` for selection
         strategies; Section 3.3 recommends GreedyMVC).
     builder:
-        ``"traverse"`` — Algorithm 2 with Observations 1-3 (the fastest
-        configuration under this vectorized substrate);
+        ``"traverse"`` — Algorithm 2 with Observations 1-3 (scalar, one
+        BFS per mask);
         ``"traverse-paper"`` — Algorithm 2 with all four pruning rules, as
         printed in the paper;
+        ``"wave"`` — the wave-batched kernel (Observations 1-3, one
+        batched multi-source BFS per cardinality wave, ring-cached
+        Theorem 2 — see :mod:`repro.core.powcov.waves`);
+        ``"wave-paper"`` — the wave kernel with the CSR-direct
+        Observation 4 sweep on top;
         ``"brute"`` — Algorithm 1.
-        All three produce identical indexes.
+        ``None`` picks up the process-wide default (the CLI's
+        ``--build-kernel`` flag; ``"traverse"`` unless overridden).
+        All builders produce identical indexes.
     storage:
         ``"flat"`` or ``"trie"`` (see module docstring).
     estimator:
@@ -86,11 +125,13 @@ class PowCovIndex(DistanceOracle):
         self,
         graph: EdgeLabeledGraph,
         landmarks: Sequence[int],
-        builder: str = "traverse",
+        builder: str | None = None,
         storage: str = "flat",
         estimator: str = "upper",
     ):
         super().__init__(graph)
+        if builder is None:
+            builder = get_default_builder()
         if builder not in _BUILDERS:
             raise ValueError(f"builder must be one of {_BUILDERS}, got {builder!r}")
         if storage not in _STORAGES:
@@ -454,6 +495,10 @@ def _build_landmark(
         return brute_force_sp_minimal(graph, landmark)
     if builder == "traverse-paper":
         return traverse_powerset(graph, landmark)
+    if builder == "wave":
+        return traverse_powerset_waves(graph, landmark, use_obs4=False)
+    if builder == "wave-paper":
+        return traverse_powerset_waves(graph, landmark)
     return traverse_powerset(graph, landmark, use_obs4=False)
 
 

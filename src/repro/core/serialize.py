@@ -76,7 +76,12 @@ def graph_fingerprint(graph: EdgeLabeledGraph) -> np.int64:
     Folds the summary counts *and* a strided FNV sample of the CSR arrays
     (``indptr``, ``neighbors``, ``edge_labels``), so graphs that merely
     share sizes — or permute edges/labels — are told apart.
+
+    Memoized per graph instance (the CSR arrays are immutable), so
+    repeated saves/loads against the same graph hash it once.
     """
+    if graph._fingerprint is not None:
+        return graph._fingerprint
     acc = _FNV_OFFSET
     for value in (
         graph.num_vertices,
@@ -89,7 +94,8 @@ def graph_fingerprint(graph: EdgeLabeledGraph) -> np.int64:
     acc = _fold_array(acc, graph.indptr)
     acc = _fold_array(acc, graph.neighbors)
     acc = _fold_array(acc, graph.edge_labels)
-    return np.int64(acc)
+    graph._fingerprint = np.int64(acc)
+    return graph._fingerprint
 
 
 def _entries_to_arrays(per_landmark: list[LandmarkSPMinimal]):

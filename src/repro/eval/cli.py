@@ -79,6 +79,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for index construction "
                         "(1 = serial, 0 = all cores); output is identical "
                         "for every worker count")
+    parser.add_argument("--build-kernel", choices=["scalar", "wave"],
+                        default="scalar",
+                        help="PowCov per-landmark build kernel: 'scalar' "
+                        "runs one constrained BFS per candidate mask, "
+                        "'wave' answers whole cardinality waves with the "
+                        "batched multi-mask BFS; the built index is "
+                        "bit-identical either way, only build time and "
+                        "memory differ")
     parser.add_argument("--engine", action="store_true",
                         help="answer queries through the batch engine "
                         "(vectorized, cached QuerySession); answers are "
@@ -108,6 +116,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..perf.parallel import ParallelConfig, set_default_parallel
 
         set_default_parallel(ParallelConfig(num_workers=args.workers))
+    if args.build_kernel == "wave":
+        from ..core.powcov import set_default_builder
+
+        set_default_builder("wave")
     if args.cache_size < 0:
         parser.error("argument --cache-size: must be >= 0")
     if args.audit and not args.engine:

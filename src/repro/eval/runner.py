@@ -94,7 +94,7 @@ def run_powcov(
     strategy: str = "greedy-mvc",
     seed: int | None = 0,
     baseline_seconds: float | None = None,
-    builder: str = "traverse",
+    builder: str | None = None,
     storage: str = "flat",
     parallel: "ParallelConfig | int | None" = None,
     engine: "EngineConfig | bool | None" = None,
@@ -103,7 +103,9 @@ def run_powcov(
 
     ``parallel`` is forwarded to :meth:`PowCovIndex.build`; ``None`` picks
     up the process-wide default (the CLI's ``--workers`` flag), keeping the
-    built index bit-for-bit identical either way.  ``engine`` selects the
+    built index bit-for-bit identical either way.  ``builder=None``
+    likewise defers to the process-wide default build kernel (the CLI's
+    ``--build-kernel`` flag).  ``engine`` selects the
     query-execution path (scalar vs. batched, see
     :func:`repro.eval.metrics.evaluate_oracle`); answers are identical,
     only timing and engine counters change.

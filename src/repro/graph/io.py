@@ -70,10 +70,12 @@ def save_edge_list(graph: EdgeLabeledGraph, path: str | os.PathLike) -> None:
 
 def save_npz(graph: EdgeLabeledGraph, path: str | os.PathLike) -> None:
     """Save the CSR arrays (and label names, if any) to an ``.npz`` file."""
+    # Fixed-width unicode (never dtype=object): lets load_npz use
+    # allow_pickle=False, so untrusted .npz files cannot execute code.
     names = (
-        np.array(graph.label_universe.names, dtype=object)
+        np.array(graph.label_universe.names, dtype=np.str_)
         if graph.label_universe is not None
-        else np.array([], dtype=object)
+        else np.array([], dtype=np.str_)
     )
     np.savez_compressed(
         path,
@@ -89,7 +91,7 @@ def save_npz(graph: EdgeLabeledGraph, path: str | os.PathLike) -> None:
 
 def load_npz(path: str | os.PathLike) -> EdgeLabeledGraph:
     """Load a graph previously written by :func:`save_npz`."""
-    with np.load(path, allow_pickle=True) as data:
+    with np.load(path, allow_pickle=False) as data:
         names = list(data["label_names"])
         universe = LabelUniverse(str(n) for n in names) if names else None
         return EdgeLabeledGraph(

@@ -69,7 +69,10 @@ def label_filter(graph: EdgeLabeledGraph, mask: int) -> np.ndarray:
                 count=graph.num_labels,
             )
         if len(cache) >= _LABEL_FILTER_CACHE_LIMIT:
-            cache.clear()
+            # Evict the oldest entry (dicts preserve insertion order)
+            # instead of dropping the whole cache: a hot working set
+            # larger than one mask survives the limit.
+            cache.pop(next(iter(cache)))
         cache[mask] = table
     return table
 

@@ -11,8 +11,22 @@ distance matrix: every level gathers the CSR slices of all active
 
 Each row of the result is exactly the distance array the single-source
 BFS would produce (both compute exact constrained distances), which is
-what lets ``ChromLandIndex.build()`` switch to this kernel with
-bit-for-bit identical output.
+what lets ``ChromLandIndex.build()`` and the wave-batched PowCov builder
+(:mod:`repro.core.powcov.waves`) switch to this kernel with bit-for-bit
+identical output.
+
+Two refinements keep heterogeneous batches cheap:
+
+* **Active-row compaction** — per-row constraint masks make frontiers die
+  at very different levels (a singleton-mask row may exhaust its component
+  in two hops while the full-mask row sweeps the whole graph).  Rows whose
+  frontier produced no fresh vertices are dropped from the working set:
+  the per-source ``allowed`` table and the dedup key space shrink to the
+  live rows, so later level gathers never touch dead rows again.
+* **Early-exit distance bound** — ``max_level`` stops the expansion once
+  every remaining undiscovered vertex would lie beyond the bound; callers
+  that only need distances up to a radius (e.g. Observation 2 style
+  cutoffs) skip the long tail of the sweep.
 """
 
 from __future__ import annotations
@@ -26,6 +40,76 @@ from ..graph.labelsets import full_mask
 from ..graph.traversal import UNREACHABLE, label_filter
 
 __all__ = ["batched_constrained_bfs", "exact_workload_distances"]
+
+#: Per-row-mask batches at least this tall run the bit-parallel kernel;
+#: smaller ones stay on the sparse frontier expansion, whose cost scales
+#: with the touched subgraph rather than with whole-arc sweeps.
+_BITSET_MIN_ROWS = 4
+
+
+def _bitset_constrained_bfs(
+    graph: EdgeLabeledGraph,
+    source_arr: np.ndarray,
+    allowed: np.ndarray,
+    dist: np.ndarray,
+    max_level: int | None,
+) -> None:
+    """Bit-parallel multi-source constrained BFS (MS-BFS style).
+
+    Rows are packed 64 to a ``uint64`` lane: ``frontier[v]`` holds one bit
+    per row whose BFS front currently contains ``v``, and a level expands
+    *every* row of a chunk with one full-arc sweep — gather the frontier
+    word of each arc's source, AND it with the arc label's row mask, and
+    OR-reduce per target vertex (``np.bitwise_or.reduceat`` over the
+    in-arc CSR).  Per-level cost is therefore independent of how many
+    rows the chunk holds, which is what makes wide PowCov waves cheap.
+    Writes levels into ``dist`` in place (rows already seeded with 0 at
+    their sources).
+    """
+    in_graph = graph.reversed()
+    in_indptr, in_neighbors = in_graph.indptr, in_graph.neighbors
+    in_labels = in_graph.edge_labels
+    n = graph.num_vertices
+    num_arcs = len(in_neighbors)
+    if num_arcs == 0:
+        return
+    seg_starts = in_indptr[:-1]
+    # Reduce over non-empty segments only, then scatter.  Empty segments
+    # have zero width, so consecutive non-empty starts are exact segment
+    # boundaries — and no reduceat index can go out of range or (the
+    # subtle failure) truncate the preceding vertex's arc range the way a
+    # clamped trailing start would.
+    nonempty_idx = np.nonzero(in_indptr[1:] != seg_starts)[0]
+    nonempty_starts = seg_starts[nonempty_idx]
+    for lo in range(0, len(source_arr), 64):
+        chunk_rows = min(64, len(source_arr) - lo)
+        row_bits = np.uint64(1) << np.arange(chunk_rows, dtype=np.uint64)
+        # ``label_bits[l]``: the rows of this chunk whose mask allows ``l``.
+        label_bits = (allowed[lo : lo + chunk_rows].astype(np.uint64)
+                      * row_bits[:, None]).sum(axis=0)
+        frontier = np.zeros(n, dtype=np.uint64)
+        np.bitwise_or.at(frontier, source_arr[lo : lo + chunk_rows], row_bits)
+        visited = frontier.copy()
+        level = 0
+        while True:
+            level += 1
+            if max_level is not None and level > max_level:
+                break
+            contrib = frontier[in_neighbors] & label_bits[in_labels]
+            reached = np.zeros(n, dtype=np.uint64)
+            reached[nonempty_idx] = np.bitwise_or.reduceat(
+                contrib, nonempty_starts
+            )
+            new = reached & ~visited
+            hit = np.nonzero(new)[0]
+            if hit.size == 0:
+                break
+            visited |= new
+            cols = (new[hit][:, None] >> np.arange(chunk_rows, dtype=np.uint64)
+                    ) & np.uint64(1)
+            vv, rr = np.nonzero(cols)
+            dist[lo + rr, hit[vv]] = level
+            frontier = new
 
 
 def _allowed_table(
@@ -55,6 +139,7 @@ def batched_constrained_bfs(
     sources: "Sequence[int] | np.ndarray",
     mask: int | None = None,
     masks: "Sequence[int] | np.ndarray | None" = None,
+    max_level: int | None = None,
 ) -> np.ndarray:
     """C-constrained BFS from many sources in one frontier-expansion loop.
 
@@ -68,12 +153,22 @@ def batched_constrained_bfs(
     masks:
         Per-row constraint masks, parallel to ``sources``; overrides
         ``mask``.  This is what lets ChromLand run its per-landmark
-        monochromatic sweeps as a single batch.
+        monochromatic sweeps — and the wave-batched PowCov builder its
+        per-cardinality candidate waves — as a single batch.
+    max_level:
+        Optional early-exit distance bound: expansion stops after the
+        ``max_level`` frontier, leaving strictly farther vertices marked
+        unreachable.  ``None`` (default) runs every row to exhaustion.
 
     Returns
     -------
     ``(len(sources), num_vertices)`` ``int32`` matrix; ``row[i]`` equals
-    ``constrained_bfs(graph, sources[i], masks[i])`` exactly.
+    ``constrained_bfs(graph, sources[i], masks[i])`` exactly (entries
+    beyond ``max_level``, when given, are ``-1``).
+
+    Rows whose frontier dies are compacted out of the working set, so a
+    batch mixing quickly-exhausted masks with long sweeps only pays for
+    the rows that are still expanding at each level.
     """
     source_arr = np.asarray(list(sources), dtype=np.int64)
     num_sources = len(source_arr)
@@ -83,42 +178,151 @@ def batched_constrained_bfs(
         return dist
     if source_arr.size and (source_arr.min() < 0 or source_arr.max() >= n):
         raise ValueError("source vertex out of range")
+    if max_level is not None and max_level < 0:
+        raise ValueError("max_level must be non-negative")
     allowed, per_source = _allowed_table(graph, num_sources, mask, masks)
 
-    rows = np.arange(num_sources, dtype=np.int64)
-    dist[rows, source_arr] = 0
-    frontier_rows = rows
-    frontier_vertices = source_arr
+    rows64 = np.arange(num_sources, dtype=np.int64)
+    dist[rows64, source_arr] = 0
+    if per_source and num_sources >= _BITSET_MIN_ROWS:
+        _bitset_constrained_bfs(graph, source_arr, allowed, dist, max_level)
+        return dist
+    dist_flat = dist.reshape(-1)
+    # 32-bit addressing whenever the flat (row, vertex) space fits: the
+    # claim scratch, stamps, and flat indices then move half the bytes.
+    wide = num_sources * n >= 2**31
+    idx = np.int64 if wide else np.int32
+    # ``row_ids[c]`` maps the compacted row slot ``c`` back to its global
+    # row in ``dist``; frontier bookkeeping runs in compacted space, and
+    # while no row has died yet (``identity``) the indirection is skipped.
+    row_ids = rows64.astype(idx)
+    identity = True
+    frontier_rows = row_ids
+    frontier_vertices = source_arr.astype(idx)
+    # Scatter-stamp dedup scratch: ``claim[flat]`` holds the stamp of the
+    # last arc that reached that (row, vertex) pair; an arc whose stamp
+    # survives the read-back is the unique winner for its pair.  One
+    # scatter + one gather replaces a hash/sort-based ``np.unique`` over
+    # combined keys.  Stamps only disambiguate arcs *within* one level
+    # (freshness comes from ``dist``), so the scratch can be wiped when
+    # the 32-bit stamp space runs out.
+    claim = np.full(num_sources * n, -1, dtype=idx)
+    stamp_stop = 2**62 if wide else 2**31 - 1
+    stamp_base = 0
     indptr, neighbors, edge_labels = graph.indptr, graph.neighbors, graph.edge_labels
+    if per_source:
+        # Per-row masks: expand through the label-grouped CSR so only the
+        # arcs a row's mask allows are ever gathered — no per-arc label
+        # test.  ``lab_pad[r, :row_nlab[r]]`` lists row ``r``'s labels.
+        group_indptr, grouped_neighbors = graph.label_grouped_csr()
+        num_labels = graph.num_labels
+        lab_rows, lab_cols = np.nonzero(allowed)
+        row_nlab = np.bincount(lab_rows, minlength=num_sources)
+        lab_ends = np.cumsum(row_nlab)
+        pos = np.arange(lab_rows.size, dtype=np.int64) - np.repeat(
+            lab_ends - row_nlab, row_nlab
+        )
+        lab_pad = np.zeros((num_sources, num_labels), dtype=np.int64)
+        lab_pad[lab_rows, pos] = lab_cols
+        # Same label count on every row (always true for one cardinality
+        # wave of the PowCov build) lets the (pair, label) expansion be a
+        # broadcast instead of a ragged repeat/cumsum cascade.
+        uniform = int(row_nlab.min(initial=0)) == int(row_nlab.max(initial=0))
     level = 0
     while frontier_vertices.size:
         level += 1
-        starts = indptr[frontier_vertices]
-        counts = indptr[frontier_vertices + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        if max_level is not None and level > max_level:
             break
-        # One combined CSR gather for every (row, vertex) frontier pair.
-        ends = np.cumsum(counts)
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
-        arc_idx = np.repeat(starts, counts) + offsets
-        arc_rows = np.repeat(frontier_rows, counts)
-        labels = edge_labels[arc_idx]
-        ok = allowed[arc_rows, labels] if per_source else allowed[labels]
-        arc_rows = arc_rows[ok]
-        targets = neighbors[arc_idx[ok]].astype(np.int64)
+        if per_source:
+            # Expand (pair, allowed-label) groups, then their arcs.
+            if uniform:
+                nlab = int(row_nlab[0]) if row_nlab.size else 0
+                if nlab == 0:
+                    break
+                key = frontier_vertices.astype(np.int64)[:, None] * num_labels
+                key += lab_pad[frontier_rows, :nlab]
+                key = key.ravel()
+                pair_rows = np.broadcast_to(
+                    frontier_rows[:, None], (frontier_rows.size, nlab)
+                ).ravel()
+            else:
+                counts_lab = row_nlab[frontier_rows]
+                total_lab = int(counts_lab.sum())
+                if total_lab == 0:
+                    break
+                ends_lab = np.cumsum(counts_lab)
+                off_lab = np.arange(total_lab, dtype=np.int64) - np.repeat(
+                    ends_lab - counts_lab, counts_lab
+                )
+                pair_rows = np.repeat(frontier_rows, counts_lab)
+                labs = lab_pad[pair_rows, off_lab]
+                key = np.repeat(frontier_vertices, counts_lab).astype(np.int64)
+                key *= num_labels
+                key += labs
+            starts = group_indptr[key]
+            counts = group_indptr[key + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            ends = np.cumsum(counts)
+            offsets = np.arange(total, dtype=group_indptr.dtype) - np.repeat(
+                ends - counts, counts
+            )
+            arc_idx = np.repeat(starts, counts) + offsets
+            arc_rows = np.repeat(pair_rows, counts)
+            targets = grouped_neighbors[arc_idx]
+        else:
+            starts = indptr[frontier_vertices]
+            counts = indptr[frontier_vertices + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # One combined CSR gather for every (row, vertex) frontier pair.
+            ends = np.cumsum(counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                ends - counts, counts
+            )
+            arc_idx = np.repeat(starts, counts) + offsets
+            arc_rows = np.repeat(frontier_rows, counts)
+            ok = allowed[edge_labels[arc_idx]]
+            arc_rows = arc_rows[ok]
+            targets = neighbors[arc_idx[ok]]
         if targets.size == 0:
             break
-        # Deduplicate (row, target) pairs before the distance gather.
-        keys = np.unique(arc_rows * n + targets)
-        arc_rows = keys // n
-        targets = keys - arc_rows * n
-        fresh = dist[arc_rows, targets] == UNREACHABLE
+        # One flat (row, vertex) address shared by the freshness gather,
+        # the distance scatter, and the dedup claim scatter/gather.
+        glob = arc_rows if identity else row_ids[arc_rows]
+        flat = glob * idx(n) + targets
+        fresh = dist_flat[flat] == UNREACHABLE
         arc_rows = arc_rows[fresh]
         targets = targets[fresh]
         if targets.size == 0:
             break
-        dist[arc_rows, targets] = level
+        flat = flat[fresh]
+        # Duplicate (row, target) scatters all write the same level.
+        dist_flat[flat] = level
+        if stamp_base + targets.size > stamp_stop:
+            claim.fill(-1)
+            stamp_base = 0
+        stamps = np.arange(stamp_base, stamp_base + targets.size, dtype=idx)
+        stamp_base += int(targets.size)
+        claim[flat] = stamps
+        winner = claim[flat] == stamps
+        arc_rows = arc_rows[winner]
+        targets = targets[winner]
+        # Active-row compaction: ``arc_rows`` is sorted (``frontier_rows``
+        # is sorted and ``np.repeat``/boolean filters preserve order), so
+        # its first occurrences are the rows still alive.  Dead rows are
+        # dropped from the per-source table before the next level's
+        # gathers.
+        live = arc_rows[np.flatnonzero(np.diff(arc_rows, prepend=-1))]
+        if live.size < row_ids.size:
+            row_ids = row_ids[live]
+            identity = False
+            if per_source:
+                row_nlab = row_nlab[live]
+                lab_pad = lab_pad[live]
+            arc_rows = np.searchsorted(live, arc_rows).astype(idx, copy=False)
         frontier_rows = arc_rows
         frontier_vertices = targets
     return dist

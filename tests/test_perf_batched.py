@@ -47,6 +47,22 @@ class TestLabelFilterCache:
         constrained_bfs(graph, 7, 5)
         assert graph._label_filter_cache[5] is cached
 
+    def test_limit_evicts_oldest_entry_only(self, monkeypatch):
+        # Hitting the cap drops the single oldest table, not the whole
+        # cache: recent entries (a hot working set) survive the limit.
+        from repro.graph import traversal
+
+        monkeypatch.setattr(traversal, "_LABEL_FILTER_CACHE_LIMIT", 3)
+        graph = labeled_erdos_renyi(25, 60, num_labels=5, seed=4)
+        for mask in (1, 2, 3):
+            label_filter(graph, mask)
+        kept = graph._label_filter_cache[3]
+        label_filter(graph, 4)  # evicts mask 1 (oldest) only
+        assert set(graph._label_filter_cache) == {2, 3, 4}
+        assert graph._label_filter_cache[3] is kept
+        label_filter(graph, 5)
+        assert set(graph._label_filter_cache) == {3, 4, 5}
+
 
 class TestBatchedConstrainedBFS:
     @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -108,6 +124,66 @@ class TestBatchedConstrainedBFS:
         batch = batched_constrained_bfs(graph, [3], masks=[0])
         assert batch[0, 3] == 0
         assert (batch[0] == -1).sum() == graph.num_vertices - 1
+
+    @pytest.mark.parametrize("rows", [1, 2, 3, 4, 9, 70, 150])
+    def test_early_dying_frontiers_every_batch_height(self, rows):
+        # Mixed restrictive/permissive masks: some rows' frontiers die at
+        # level 1 while others keep expanding.  Heights straddle the
+        # bitset threshold and the 64-row chunk boundary, so both kernels
+        # (and multi-chunk packing) must keep dead rows dead.
+        graph = labeled_erdos_renyi(55, 140, num_labels=5, seed=21)
+        universe = (1 << graph.num_labels) - 1
+        sources = [(7 * i) % graph.num_vertices for i in range(rows)]
+        masks = [0 if i % 3 == 0 else (1 if i % 3 == 1 else universe)
+                 for i in range(rows)]
+        batch = batched_constrained_bfs(graph, sources, masks=masks)
+        for i, (s, m) in enumerate(zip(sources, masks)):
+            assert np.array_equal(batch[i], constrained_bfs(graph, s, m)), i
+
+    def test_early_dying_frontiers_directed(self):
+        graph = directed_random(seed=17)
+        sources = [0, 5, 10, 15, 20, 25]
+        masks = [0, 1, 2, 15, 1, 15]
+        batch = batched_constrained_bfs(graph, sources, masks=masks)
+        for i, (s, m) in enumerate(zip(sources, masks)):
+            assert np.array_equal(batch[i], constrained_bfs(graph, s, m))
+
+    def test_trailing_vertex_without_in_arcs(self):
+        # Regression: the bit-parallel kernel once clamped reduceat
+        # segment starts to num_arcs - 1 for empty tail segments, which
+        # silently truncated the *preceding* vertex's arc range — here the
+        # last arc into vertex 3 is the only way to reach it, and vertex 4
+        # has no arcs at all.
+        graph = EdgeLabeledGraph.from_edges(
+            5, [(0, 1, 0), (1, 2, 1), (2, 3, 1)], num_labels=2, directed=True
+        )
+        masks = [0b11, 0b11, 0b11, 0b10]
+        batch = batched_constrained_bfs(graph, [0, 0, 0, 1], masks=masks)
+        assert batch[0].tolist() == [0, 1, 2, 3, -1]
+        assert batch[3].tolist() == [-1, 0, 1, 2, -1]
+
+    @pytest.mark.parametrize("max_level", [0, 1, 2, 3])
+    def test_max_level_clips_like_full_bfs(self, max_level):
+        graph = labeled_grid(7, 7, num_labels=3)
+        sources = [0, 24, 48, 10]
+        masks = [7, 7, 3, 5]
+        clipped = batched_constrained_bfs(
+            graph, sources, masks=masks, max_level=max_level
+        )
+        full = batched_constrained_bfs(graph, sources, masks=masks)
+        expected = np.where(full > max_level, -1, full)
+        assert np.array_equal(clipped, expected)
+
+    def test_max_level_shared_mask_path(self):
+        graph = labeled_grid(6, 6, num_labels=2)
+        clipped = batched_constrained_bfs(graph, [0, 35], mask=3, max_level=2)
+        full = batched_constrained_bfs(graph, [0, 35], mask=3)
+        assert np.array_equal(clipped, np.where(full > 2, -1, full))
+
+    def test_negative_max_level_rejected(self):
+        graph = labeled_erdos_renyi(20, 40, num_labels=2, seed=0)
+        with pytest.raises(ValueError, match="max_level"):
+            batched_constrained_bfs(graph, [0], max_level=-1)
 
 
 class TestExactWorkloadDistances:

@@ -27,6 +27,21 @@ class TestFingerprint:
     def test_stable(self, graph):
         assert graph_fingerprint(graph) == graph_fingerprint(graph)
 
+    def test_memoized_per_instance(self, monkeypatch):
+        # The CSR arrays are immutable, so the hash is computed once and
+        # cached on the graph; a second call must not touch the arrays.
+        from repro.core import serialize
+
+        g = labeled_erdos_renyi(30, 80, num_labels=3, seed=4)
+        first = graph_fingerprint(g)
+        assert g._fingerprint is not None
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("fingerprint was recomputed")
+
+        monkeypatch.setattr(serialize, "_fold_array", boom)
+        assert graph_fingerprint(g) == first
+
     def test_distinguishes_graphs(self, graph):
         other = labeled_erdos_renyi(40, 110, num_labels=3, seed=20)
         assert graph_fingerprint(graph) != graph_fingerprint(other)
