@@ -3,7 +3,7 @@
 The generic linters (ruff, mypy) cannot see the package's *semantic*
 conventions: which arrays are immutable, which module owns bitmask
 construction, which loops are allowed to be scalar.  This module encodes
-those conventions as six mechanical rules over the Python AST:
+those conventions as seven mechanical rules over the Python AST:
 
 ``REPRO001``
     CSR arrays (``indptr`` / ``neighbors`` / ``edge_labels``) are
@@ -33,6 +33,13 @@ those conventions as six mechanical rules over the Python AST:
     No ``print`` in library code — the engine's instrumentation layer and
     the eval renderers return strings; only the CLI entry point
     (``eval/cli.py``) and ``if __name__ == "__main__"`` blocks print.
+``REPRO007``
+    No ``time.time()`` in library code: it is wall-clock epoch time, not
+    a monotonic timer — measurements jump on NTP adjustments.  Use
+    ``time.perf_counter()`` for durations and ``time.process_time()`` for
+    CPU time (both already threaded through :mod:`repro.obs.trace` and
+    :mod:`repro.engine.instrument`).  ``from time import time`` is flagged
+    at the import.
 
 Suppression: a trailing ``# noqa: REPRO00X`` comment silences one rule on
 that line; a bare ``# noqa`` silences all of them.  Fixture files (and
@@ -66,6 +73,8 @@ RULES: dict[str, str] = {
     "outside ScalarLoopExecutor",
     "REPRO005": "public functions in core/ and engine/ carry full annotations",
     "REPRO006": "no print in library code (use instrumentation/renderers)",
+    "REPRO007": "no wall-clock time.time() in library code; use "
+    "time.perf_counter() / time.process_time()",
 }
 
 #: The immutable CSR attribute names of ``EdgeLabeledGraph``.
@@ -364,6 +373,33 @@ class _Visitor(ast.NodeVisitor):
                 "print in library code; return a string or use "
                 "repro.engine.instrument",
             )
+        # REPRO007: wall-clock epoch time in library code.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            self._flag(
+                node,
+                "REPRO007",
+                "time.time() is wall-clock epoch time; use "
+                "time.perf_counter() for durations or time.process_time() "
+                "for CPU time",
+            )
+        self.generic_visit(node)
+
+    # -- REPRO007: importing the wall clock directly -------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    self._flag(
+                        node,
+                        "REPRO007",
+                        "'from time import time' imports the wall clock; "
+                        "use time.perf_counter() / time.process_time()",
+                    )
         self.generic_visit(node)
 
     def _check_random_call(self, node: ast.Call, func: ast.expr) -> None:
@@ -525,7 +561,7 @@ def lint_paths(
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.analysis.lint",
-        description="Project-specific AST lint rules (REPRO001-REPRO006).",
+        description="Project-specific AST lint rules (REPRO001-REPRO007).",
     )
     parser.add_argument(
         "paths",

@@ -23,6 +23,7 @@ import numpy as np
 from ...graph.labeled_graph import EdgeLabeledGraph
 from ...graph.labelsets import label_bit, np_label_bits
 from ...graph.traversal import UNREACHABLE
+from ...obs.trace import span
 from ...perf.batched import batched_constrained_bfs
 from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
 from ..types import DistanceOracle, QueryAnswer
@@ -141,13 +142,19 @@ class ChromLandIndex(DistanceOracle):
                 mask = label_bit(own_color) | label_bit(other_color)
                 jobs.append((0, x, mask, True))
                 unpackers.append(("bi", i, other_color))
-        results = run_tasks(
-            _chromland_chunk_task,
-            jobs,
-            graphs=graphs,
-            extra={"landmarks": np.asarray(self.landmarks, dtype=np.int64)},
-            config=config,
-        )
+        with span(
+            "chromland.build", backend=config.backend
+        ) as build_span:
+            build_span.count("landmarks", k)
+            build_span.count("colors", len(color_values))
+            build_span.count("sweeps", len(jobs))
+            results = run_tasks(
+                _chromland_chunk_task,
+                jobs,
+                graphs=graphs,
+                extra={"landmarks": np.asarray(self.landmarks, dtype=np.int64)},
+                config=config,
+            )
         for what, row in zip(unpackers, results):
             if what[0] == "mono":
                 self.mono[what[1]] = row

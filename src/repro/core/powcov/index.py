@@ -36,6 +36,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
+from ...obs.trace import span
 from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
 from ..trie import LabelSetTrie
 from ..types import INF, DistanceOracle, QueryAnswer
@@ -194,39 +195,48 @@ class PowCovIndex(DistanceOracle):
             configuration.
         """
         config = resolve_parallel(parallel)
-        items: list[tuple[int, int]] = [(x, 0) for x in self.landmarks]
-        graphs: list[EdgeLabeledGraph] = [self.graph]
-        if self.graph.directed:
-            graphs.append(self.graph.reversed())
-            items.extend((x, 1) for x in self.landmarks)
-        results = run_tasks(
-            _landmark_chunk_task,
-            items,
-            graphs=tuple(graphs),
-            extra=self._build_task_extra(),
-            config=config,
-        )
-        k = len(self.landmarks)
-        self.per_landmark = results[:k]
-        self._flat = [result.entries for result in self.per_landmark]
-        if self.graph.directed:
-            self.per_landmark_reverse = results[k:]
-            self._flat_reverse = [r.entries for r in self.per_landmark_reverse]
-        if self.storage == "packed":
-            self._build_packed()
-        if self.storage == "trie":
-            self._tries = []
-            for entries in self._flat:
-                per_vertex: dict[int, list[tuple[int, LabelSetTrie]]] = {}
-                for u, pairs in entries.items():
-                    groups: list[tuple[int, LabelSetTrie]] = []
-                    for dist, mask in pairs:  # pairs are distance-sorted
-                        if not groups or groups[-1][0] != dist:
-                            groups.append((dist, LabelSetTrie()))
-                        groups[-1][1].insert(mask)
-                    per_vertex[u] = groups
-                self._tries.append(per_vertex)
-        self._built = True
+        with span(
+            "powcov.build",
+            builder=self.builder,
+            storage=self.storage,
+            backend=config.backend,
+        ) as build_span:
+            build_span.count("landmarks", len(self.landmarks))
+            items: list[tuple[int, int]] = [(x, 0) for x in self.landmarks]
+            graphs: list[EdgeLabeledGraph] = [self.graph]
+            if self.graph.directed:
+                graphs.append(self.graph.reversed())
+                items.extend((x, 1) for x in self.landmarks)
+            results = run_tasks(
+                _landmark_chunk_task,
+                items,
+                graphs=tuple(graphs),
+                extra=self._build_task_extra(),
+                config=config,
+            )
+            k = len(self.landmarks)
+            self.per_landmark = results[:k]
+            self._flat = [result.entries for result in self.per_landmark]
+            if self.graph.directed:
+                self.per_landmark_reverse = results[k:]
+                self._flat_reverse = [r.entries for r in self.per_landmark_reverse]
+            if self.storage == "packed":
+                self._build_packed()
+            if self.storage == "trie":
+                self._tries = []
+                for entries in self._flat:
+                    per_vertex: dict[int, list[tuple[int, LabelSetTrie]]] = {}
+                    for u, pairs in entries.items():
+                        groups: list[tuple[int, LabelSetTrie]] = []
+                        for dist, mask in pairs:  # pairs are distance-sorted
+                            if not groups or groups[-1][0] != dist:
+                                groups.append((dist, LabelSetTrie()))
+                            groups[-1][1].insert(mask)
+                        per_vertex[u] = groups
+                    self._tries.append(per_vertex)
+            self._built = True
+            build_span.count("entries", self.index_size_entries())
+            build_span.count("sssp", sum(r.num_sssp for r in results))
         return self
 
     def _build_packed(self) -> None:
@@ -485,6 +495,18 @@ def _build_landmark(
     graph: EdgeLabeledGraph, landmark: int, extra: dict
 ) -> LandmarkSPMinimal:
     """One landmark's SP-minimal enumeration, parameterized by ``extra``."""
+    with span("powcov.landmark", landmark=landmark) as landmark_span:
+        result = _build_landmark_inner(graph, landmark, extra)
+        landmark_span.count("entries", result.total_entries)
+        landmark_span.count("sssp", result.num_sssp)
+        landmark_span.count("full_tests", result.num_full_tests)
+        landmark_span.count("auto_minimal", result.num_auto_minimal)
+    return result
+
+
+def _build_landmark_inner(
+    graph: EdgeLabeledGraph, landmark: int, extra: dict
+) -> LandmarkSPMinimal:
     weights = extra.get("weights")
     if weights is not None:
         from .weighted import weighted_sp_minimal  # local: avoids cycle

@@ -45,6 +45,9 @@ from ...graph.traversal import (
     label_filter,
     monochromatic_sp_labels,
 )
+from ...obs.metrics import metrics_enabled
+from ...obs.metrics import registry as _metrics_registry
+from ...obs.trace import span, tracing_enabled
 from ...perf.batched import batched_constrained_bfs
 from .spminimal import BIG, LandmarkSPMinimal, generate_candidates
 
@@ -172,70 +175,111 @@ def traverse_powerset_waves(
     prev_rows: np.ndarray = pad_row
     prev_index: dict[int, int] = {}
 
+    # Per-wave frontier/pruning accounting is paid only when tracing or the
+    # optional metrics are on — the default build skips the extra reduces.
+    # Metric increments accumulate in locals and flush to the registry once
+    # after the loop, keeping the per-wave enabled cost to the span itself.
+    observing = metrics_enabled() or tracing_enabled()
+    metering = metrics_enabled()
+    total_waves = total_rows = total_visited = total_pruned = total_emitted = 0
+    width_counts: dict[int, int] = {}
+
     for wave in wave_schedule(candidates):
         size = popcount(wave[0])
-        dist = np.empty((len(wave), n), dtype=np.int32)
-        for lo in range(0, len(wave), batch_rows):
-            chunk = wave[lo : lo + batch_rows]
-            raw = batched_constrained_bfs(
-                graph, [landmark] * len(chunk), masks=chunk
-            )
-            dist[lo : lo + len(chunk)] = np.where(raw == UNREACHABLE, BIG, raw)
-        result.num_sssp += len(wave)
-
-        candidate = dist < BIG
-        candidate[:, landmark] = False
-        if use_obs2:
-            candidate &= dist >= size
-        if use_obs3 and size >= 2 and mono is not None:
-            # A monochromatic SP label inside C makes C ⊋ {l_u} non-minimal.
-            mask_arr = np.asarray(wave, dtype=np.int64)
-            candidate &= (mono[None, :] & mask_arr[:, None]) == 0
-
-        # Theorem 2, one stacked sweep: gather each mask's one-removed
-        # subset rows from the previous wave and minimum-reduce them.
-        best: np.ndarray | None = None
-        if size >= 2:
-            pad = prev_rows.shape[0] - 1
-            sub_rows = np.full((len(wave), size), pad, dtype=np.int64)
-            for i, mask in enumerate(wave):
-                for j, sub in enumerate(iter_one_removed(mask)):
-                    row = prev_index.get(sub)
-                    if row is not None:
-                        sub_rows[i, j] = row
-            best = prev_rows[sub_rows[:, 0]]
-            for j in range(1, size):
-                np.minimum(best, prev_rows[sub_rows[:, j]], out=best)
-        passes_theorem2 = (
-            candidate if best is None else dist < best
-        )  # singletons have no nonzero subsets: every candidate passes
-
-        if not use_obs4:
-            result.num_full_tests += int(candidate.sum())
-            minimal = candidate & passes_theorem2
-            for i, mask in enumerate(wave):
-                dist_row = dist[i]
-                for u in np.nonzero(minimal[i])[0].tolist():
-                    collected.setdefault(u, []).append((int(dist_row[u]), mask))
-        else:
-            for i, mask in enumerate(wave):
-                is_min = _obs4_row(
-                    in_graph,
-                    label_filter(graph, mask),
-                    dist[i],
-                    candidate[i],
-                    passes_theorem2[i],
-                    flagged,
-                    result,
+        with span("powcov.wave", size=size) as wave_span:
+            dist = np.empty((len(wave), n), dtype=np.int32)
+            for lo in range(0, len(wave), batch_rows):
+                chunk = wave[lo : lo + batch_rows]
+                raw = batched_constrained_bfs(
+                    graph, [landmark] * len(chunk), masks=chunk
                 )
-                dist_row = dist[i]
-                for u in np.nonzero(is_min)[0].tolist():
-                    collected.setdefault(u, []).append((int(dist_row[u]), mask))
+                dist[lo : lo + len(chunk)] = np.where(raw == UNREACHABLE, BIG, raw)
+            result.num_sssp += len(wave)
 
-        # Rotate the ring cache: this wave's rows (plus the BIG pad) are
-        # all the next wave's one-removed lookups can ever touch.
-        prev_rows = np.concatenate([dist, pad_row], axis=0)
-        prev_index = {mask: i for i, mask in enumerate(wave)}
+            candidate = dist < BIG
+            candidate[:, landmark] = False
+            visited = int(np.count_nonzero(candidate)) if observing else 0
+            if use_obs2:
+                candidate &= dist >= size
+            if use_obs3 and size >= 2 and mono is not None:
+                # A monochromatic SP label inside C makes C ⊋ {l_u} non-minimal.
+                mask_arr = np.asarray(wave, dtype=np.int64)
+                candidate &= (mono[None, :] & mask_arr[:, None]) == 0
+            pruned = visited - int(np.count_nonzero(candidate)) if observing else 0
+
+            # Theorem 2, one stacked sweep: gather each mask's one-removed
+            # subset rows from the previous wave and minimum-reduce them.
+            best: np.ndarray | None = None
+            if size >= 2:
+                pad = prev_rows.shape[0] - 1
+                sub_rows = np.full((len(wave), size), pad, dtype=np.int64)
+                for i, mask in enumerate(wave):
+                    for j, sub in enumerate(iter_one_removed(mask)):
+                        row = prev_index.get(sub)
+                        if row is not None:
+                            sub_rows[i, j] = row
+                best = prev_rows[sub_rows[:, 0]]
+                for j in range(1, size):
+                    np.minimum(best, prev_rows[sub_rows[:, j]], out=best)
+            passes_theorem2 = (
+                candidate if best is None else dist < best
+            )  # singletons have no nonzero subsets: every candidate passes
+
+            emitted = 0
+            if not use_obs4:
+                result.num_full_tests += int(candidate.sum())
+                minimal = candidate & passes_theorem2
+                for i, mask in enumerate(wave):
+                    dist_row = dist[i]
+                    minima = np.nonzero(minimal[i])[0].tolist()
+                    emitted += len(minima)
+                    for u in minima:
+                        collected.setdefault(u, []).append((int(dist_row[u]), mask))
+            else:
+                for i, mask in enumerate(wave):
+                    is_min = _obs4_row(
+                        in_graph,
+                        label_filter(graph, mask),
+                        dist[i],
+                        candidate[i],
+                        passes_theorem2[i],
+                        flagged,
+                        result,
+                    )
+                    dist_row = dist[i]
+                    minima = np.nonzero(is_min)[0].tolist()
+                    emitted += len(minima)
+                    for u in minima:
+                        collected.setdefault(u, []).append((int(dist_row[u]), mask))
+
+            wave_span.count("masks", len(wave))
+            wave_span.count("emitted", emitted)
+            if observing:
+                wave_span.count("visited", visited)
+                wave_span.count("pruned", pruned)
+            if metering:
+                total_waves += 1
+                total_rows += len(wave)
+                total_visited += visited
+                total_pruned += pruned
+                total_emitted += emitted
+                width_counts[len(wave)] = width_counts.get(len(wave), 0) + 1
+
+            # Rotate the ring cache: this wave's rows (plus the BIG pad) are
+            # all the next wave's one-removed lookups can ever touch.
+            prev_rows = np.concatenate([dist, pad_row], axis=0)
+            prev_index = {mask: i for i, mask in enumerate(wave)}
+
+    if metering and total_waves:
+        reg = _metrics_registry()
+        reg.counter("powcov.waves").inc(total_waves)
+        reg.counter("powcov.bfs_rows").inc(total_rows)
+        reg.counter("powcov.visited_vertices").inc(total_visited)
+        reg.counter("powcov.pruned_candidates").inc(total_pruned)
+        reg.counter("powcov.entries_emitted").inc(total_emitted)
+        hist = reg.histogram("powcov.wave_width", lo=1.0, hi=1e6, per_decade=5)
+        for width, count in sorted(width_counts.items()):
+            hist.observe(float(width), count=count)
 
     for pairs in collected.values():
         pairs.sort()

@@ -30,7 +30,11 @@ Timer glossary (seconds, cumulative):
 
 A process-wide aggregate (:func:`merge_global` / :func:`global_snapshot`)
 lets the CLI report engine activity accumulated across all the sessions an
-experiment created.
+experiment created.  The aggregate is stored in the
+:mod:`repro.obs.metrics` registry under ``engine.*`` names (counters for
+the integer counters, cumulative-seconds counters for the timers), so one
+``--metrics-out`` export carries the engine aggregate alongside the build
+metrics and the per-oracle latency histograms the sessions record.
 """
 
 from __future__ import annotations
@@ -38,6 +42,8 @@ from __future__ import annotations
 from collections.abc import Iterator
 from contextlib import contextmanager
 from time import perf_counter
+
+from ..obs.metrics import registry as _obs_registry
 
 __all__ = [
     "Instrumentation",
@@ -124,22 +130,37 @@ def format_stats(instr: Instrumentation, title: str = "engine stats") -> str:
 
 # ----------------------------------------------------------------------
 # Process-wide aggregate, reported by the CLI after an --engine run.
+# Backed by the repro.obs metrics registry (names: "engine.<counter>"),
+# so --metrics-out exports it and other tooling can read it live.
 # ----------------------------------------------------------------------
-_GLOBAL = Instrumentation()
+_PREFIX = "engine."
 
 
 def merge_global(instr: Instrumentation) -> None:
     """Fold one session's stats into the process-wide aggregate."""
-    _GLOBAL.merge(instr)
+    reg = _obs_registry()
+    for name, count in instr.counters.items():
+        reg.counter(_PREFIX + name).inc(count)
+    for name, seconds in instr.seconds.items():
+        reg.counter(_PREFIX + name).inc(seconds)
 
 
 def global_snapshot() -> Instrumentation:
     """A copy of the process-wide aggregate (safe to render/mutate)."""
     copy = Instrumentation()
-    copy.merge(_GLOBAL)
+    snapshot = _obs_registry().snapshot()
+    for name, value in snapshot.items():
+        if not name.startswith(_PREFIX) or not isinstance(value, (int, float)):
+            continue
+        short = name[len(_PREFIX):]
+        if "." in short:
+            continue  # structured engine metrics (histograms etc.), not counters
+        if short.endswith("_seconds"):
+            copy.add_seconds(short, float(value))
+        else:
+            copy.count(short, int(value))
     return copy
 
 
 def reset_global() -> None:
-    _GLOBAL.counters.clear()
-    _GLOBAL.seconds.clear()
+    _obs_registry().reset(prefix=_PREFIX)

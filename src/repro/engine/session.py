@@ -3,8 +3,12 @@
 A :class:`QuerySession` wraps any :class:`~repro.core.types.DistanceOracle`
 with
 
-* an **answer cache** — an LRU over ``(source, target, mask)`` triples
-  (``cache_size`` entries, 0 disables it);
+* an **answer cache** — an LRU keyed by ``(graph_fingerprint, source,
+  target, mask)`` (``cache_size`` entries, 0 disables it).  The
+  fingerprint component makes cached answers self-identifying: a session
+  rebound (:meth:`QuerySession.rebind`) to an oracle over a *different*
+  graph can never serve a stale distance, and rebinding back revalidates
+  the surviving entries instead of recomputing them;
 * a **plan cache** — an LRU over constraint masks holding whatever the
   oracle's executor precomputes per mask (PowCov: resolved per-vertex
   landmark rows; ChromLand: the usable filter + masked auxiliary
@@ -26,11 +30,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
+from time import perf_counter
 from typing import Any
 
 import numpy as np
 
 from ..core.types import DistanceOracle
+from ..obs.metrics import metrics_enabled
+from ..obs.metrics import registry as _metrics_registry
+from ..obs.trace import span
 from .executors import OracleExecutor, executor_for
 from .instrument import Instrumentation, format_stats, merge_global
 from .plan import as_triple, plan_batch, to_triple_array
@@ -80,19 +88,41 @@ class QuerySession:
         self.cache_size = cache_size
         self.plan_cache_size = plan_cache_size
         self.stats = Instrumentation()
-        self._answers: OrderedDict[tuple[int, int, int], float] = OrderedDict()
+        self._fingerprint = self._oracle_fingerprint(oracle)
+        self._answers: OrderedDict[tuple[int, int, int, int], float] = OrderedDict()
         self._plans: OrderedDict[int, Any] = OrderedDict()
+
+    @staticmethod
+    def _oracle_fingerprint(oracle: DistanceOracle) -> int:
+        # Local import: serialize pulls in both index packages, which the
+        # engine otherwise only needs lazily (and memoizes on the graph).
+        from ..core.serialize import graph_fingerprint
+
+        return int(graph_fingerprint(oracle.graph))
+
+    def rebind(self, oracle: DistanceOracle) -> None:
+        """Point this session at another oracle, keeping the answer cache.
+
+        The plan cache is dropped (plans hold oracle-internal arrays), but
+        answers survive: their keys carry the graph fingerprint, so entries
+        from a different graph simply stop matching, and rebinding back to
+        an oracle over the original graph makes them hits again.
+        """
+        self.oracle = oracle
+        self.executor = executor_for(oracle)
+        self._fingerprint = self._oracle_fingerprint(oracle)
+        self._plans.clear()
 
     # ------------------------------------------------------------------
     # Caches
     # ------------------------------------------------------------------
-    def _cache_get(self, key: tuple[int, int, int]) -> float | None:
+    def _cache_get(self, key: tuple[int, int, int, int]) -> float | None:
         value = self._answers.get(key)
         if value is not None:
             self._answers.move_to_end(key)
         return value
 
-    def _cache_put(self, key: tuple[int, int, int], value: float) -> None:
+    def _cache_put(self, key: tuple[int, int, int, int], value: float) -> None:
         if self.cache_size == 0:
             return
         if key in self._answers:
@@ -138,7 +168,7 @@ class QuerySession:
     def query(self, source: int, target: int, label_mask: int) -> float:
         """Single cached query (scalar path on miss)."""
         self.stats.count("queries")
-        key = (source, target, label_mask)
+        key = (self._fingerprint, source, target, label_mask)
         cached = self._cache_get(key)
         if cached is not None:
             self.stats.count("cache_hits")
@@ -157,11 +187,14 @@ class QuerySession:
         returns answers in submission order, bit-identical to the scalar
         loop.
         """
-        with self.stats.timed("total_seconds"):
+        with self.stats.timed("total_seconds"), span(
+            "engine.run", oracle=self.oracle.name
+        ) as run_span:
             if not self.cache_size:
                 arr = to_triple_array(queries)
                 self.stats.count("queries", len(arr))
                 self.stats.count("batches")
+                run_span.count("queries", len(arr))
                 if len(arr) == 0:
                     return []
                 self.stats.count("cache_misses", len(arr))
@@ -174,11 +207,16 @@ class QuerySession:
             n = len(queries)
             self.stats.count("queries", n)
             self.stats.count("batches")
+            run_span.count("queries", n)
             if n == 0:
                 return []
+            fingerprint = self._fingerprint
             answers: list[float | None] = [None] * n
             miss_positions: list[int] = []
-            for i, key in enumerate(queries):
+            keys: list[tuple[int, int, int, int]] = []
+            for i, (s, t, mask) in enumerate(queries):
+                key = (fingerprint, s, t, mask)
+                keys.append(key)
                 cached = self._cache_get(key)
                 if cached is None:
                     miss_positions.append(i)
@@ -186,12 +224,14 @@ class QuerySession:
                     answers[i] = cached
             self.stats.count("cache_hits", n - len(miss_positions))
             self.stats.count("cache_misses", len(miss_positions))
+            run_span.count("cache_hits", n - len(miss_positions))
+            run_span.count("cache_misses", len(miss_positions))
             if miss_positions:
                 misses = [queries[i] for i in miss_positions]
                 values = self._execute(to_triple_array(misses))
                 for i, value in zip(miss_positions, values.tolist()):
                     answers[i] = value
-                    self._cache_put(queries[i], value)
+                    self._cache_put(keys[i], value)
             return answers  # type: ignore[return-value]
 
     def _execute(self, arr: np.ndarray) -> np.ndarray:
@@ -200,11 +240,29 @@ class QuerySession:
         with self.stats.timed("plan_seconds"):
             plan = plan_batch(arr)
         out = np.empty(len(arr), dtype=np.float64)
+        record_latency = metrics_enabled()
+        latency = (
+            _metrics_registry().histogram(f"engine.query_seconds.{self.oracle.name}")
+            if record_latency
+            else None
+        )
         with self.stats.timed("execute_seconds"):
             for group in plan.groups:
                 self.stats.count("groups")
                 mask_plan = self._plan_for(group.label_mask)
-                out[group.positions] = self.executor.execute_group(mask_plan, group)
+                if latency is not None:
+                    started = perf_counter()
+                    out[group.positions] = self.executor.execute_group(
+                        mask_plan, group
+                    )
+                    # One observation per mask group (per-query mean weighted
+                    # by group size) keeps the hot loop allocation-free.
+                    size = len(group.positions)
+                    latency.observe((perf_counter() - started) / size, count=size)
+                else:
+                    out[group.positions] = self.executor.execute_group(
+                        mask_plan, group
+                    )
         return out
 
     def run_stream(

@@ -104,6 +104,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--audit", action="store_true",
                         help="with --engine: audit every oracle a session "
                         "wraps before serving queries (slow; debug only)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record structured spans (build waves, engine "
+                        "batches, table rows) and print the rendered span "
+                        "tree after the run")
+    parser.add_argument("--trace-out", type=str, default=None,
+                        help="write the recorded spans as JSONL to this "
+                        "file (implies --trace)")
+    parser.add_argument("--metrics-out", type=str, default=None,
+                        help="enable the optional hot-path metrics (wave "
+                        "widths, pruning counts, per-oracle query-latency "
+                        "histograms) and write the registry snapshot as "
+                        "JSON to this file")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile each build/query phase with cProfile "
+                        "+ tracemalloc, writing profile-<phase>.pstats/.txt "
+                        "artifacts next to the results (--csv-dir if set, "
+                        "else the working directory)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the output to this file")
     parser.add_argument("--csv-dir", type=str, default=None,
@@ -112,6 +129,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.workers < 0:
         parser.error("argument --workers: must be >= 0")
+    tracing = args.trace or args.trace_out is not None
+    if tracing:
+        from ..obs.trace import reset_trace, set_tracing
+
+        set_tracing(True)
+        reset_trace()
+    if args.metrics_out is not None:
+        from ..obs.metrics import set_metrics
+
+        set_metrics(True)
+    if args.profile:
+        from ..obs.profiling import set_profiling
+
+        set_profiling(True, directory=args.csv_dir or ".")
     if args.workers != 1:
         from ..perf.parallel import ParallelConfig, set_default_parallel
 
@@ -215,6 +246,20 @@ def main(argv: list[str] | None = None) -> int:
 
         stats = global_snapshot()
         emit(format_stats(stats, title="engine stats (all sessions)"))
+    if tracing:
+        from ..obs.trace import render_trace, write_jsonl
+
+        emit(render_trace(title=f"trace ({args.what})"))
+        if args.trace_out:
+            write_jsonl(args.trace_out)
+            print(f"[repro.eval.cli] trace JSONL written to {args.trace_out}")
+    if args.metrics_out is not None:
+        from ..obs.metrics import registry
+
+        emit(registry().render(title="metrics"))
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry().to_json() + "\n")
+        print(f"[repro.eval.cli] metrics snapshot written to {args.metrics_out}")
     elapsed = time.perf_counter() - started
     footer = f"[repro.eval.cli] completed {args.what} in {elapsed:.1f}s"
     print(footer)

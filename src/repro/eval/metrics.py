@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from ..core.types import DistanceOracle
 from ..engine import EngineConfig, QuerySession, resolve_engine
+from ..obs.trace import span
 from ..workloads.queries import LabeledQuery, Workload
 
 __all__ = ["OracleMetrics", "evaluate_oracle", "time_oracle"]
@@ -98,7 +99,9 @@ def evaluate_oracle(
     if len(workload) == 0:
         raise ValueError("workload is empty")
     config = resolve_engine(engine)
-    estimates = _answer_workload(oracle, workload.queries, config)
+    with span("eval.evaluate_oracle", oracle=oracle.name) as eval_span:
+        eval_span.count("queries", len(workload))
+        estimates = _answer_workload(oracle, workload.queries, config)
 
     abs_errors: list[float] = []
     rel_errors: list[float] = []

@@ -18,6 +18,8 @@ from ..core.powcov import PowCovIndex
 from ..engine import EngineConfig
 from ..graph.labeled_graph import EdgeLabeledGraph
 from ..landmarks import select_landmarks
+from ..obs.profiling import profile_phase
+from ..obs.trace import span
 from ..perf.parallel import ParallelConfig
 from ..workloads.queries import Workload
 from .metrics import OracleMetrics, evaluate_oracle, time_oracle
@@ -112,11 +114,15 @@ def run_powcov(
     """
     landmarks = select_landmarks(graph, k, strategy=strategy, seed=seed)
     started = time.perf_counter()
-    index = PowCovIndex(graph, landmarks, builder=builder, storage=storage).build(
-        parallel=parallel
-    )
+    with span("eval.powcov_build", k=k, strategy=strategy), profile_phase(
+        f"powcov-build-k{k}"
+    ):
+        index = PowCovIndex(graph, landmarks, builder=builder, storage=storage).build(
+            parallel=parallel
+        )
     build_seconds = time.perf_counter() - started
-    metrics = evaluate_oracle(index, workload, engine=engine)
+    with profile_phase(f"powcov-query-k{k}"):
+        metrics = evaluate_oracle(index, workload, engine=engine)
     if baseline_seconds is None:
         baseline_seconds = baseline_query_seconds(graph, workload, engine=engine)
     return IndexRun(
@@ -172,11 +178,15 @@ def run_chromland(
             colors = [int(c) for c in rng.integers(0, graph.num_labels, size=k)]
     else:
         raise ValueError(f"unknown ChromLand selection {selection!r}")
-    index = ChromLandIndex(graph, landmarks, colors, query_mode=query_mode).build(
-        parallel=parallel
-    )
+    with span("eval.chromland_build", k=k, selection=selection), profile_phase(
+        f"chromland-build-k{k}"
+    ):
+        index = ChromLandIndex(graph, landmarks, colors, query_mode=query_mode).build(
+            parallel=parallel
+        )
     build_seconds = time.perf_counter() - started
-    metrics = evaluate_oracle(index, workload, engine=engine)
+    with profile_phase(f"chromland-query-k{k}"):
+        metrics = evaluate_oracle(index, workload, engine=engine)
     if baseline_seconds is None:
         baseline_seconds = baseline_query_seconds(graph, workload, engine=engine)
     return IndexRun(
@@ -200,7 +210,8 @@ def run_naive(
     """Build the naive powerset index (Table 2's straw man) and evaluate."""
     landmarks = select_landmarks(graph, k, strategy=strategy, seed=seed)
     started = time.perf_counter()
-    index = NaivePowersetIndex(graph, landmarks).build()
+    with span("eval.naive_build", k=k):
+        index = NaivePowersetIndex(graph, landmarks).build()
     build_seconds = time.perf_counter() - started
     metrics = evaluate_oracle(index, workload, engine=engine)
     if baseline_seconds is None:

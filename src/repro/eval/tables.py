@@ -29,6 +29,7 @@ from ..engine import EngineConfig
 from ..graph.datasets import dataset_names, load_dataset, paper_synthetic
 from ..graph.traversal import estimate_diameter
 from ..landmarks import select_landmarks
+from ..obs.trace import span
 from ..workloads.queries import generate_workload
 from .runner import IndexRun, baseline_query_seconds, run_chromland, run_powcov
 
@@ -241,6 +242,13 @@ class Table3Row:
 
 
 def _time_row(graph, name: str, k: int, seed: int, iterations: int = 30) -> Table3Row:
+    with span("table3.row", dataset=name, k=k):
+        return _time_row_inner(graph, name, k, seed, iterations)
+
+
+def _time_row_inner(
+    graph, name: str, k: int, seed: int, iterations: int = 30
+) -> Table3Row:
     landmarks = select_landmarks(graph, k, strategy="greedy-mvc", seed=seed)
     # ChromLand per-landmark time: build with k landmarks / local colors.
     selection = local_search_selection(graph, k, iterations=iterations, seed=seed)
@@ -392,15 +400,17 @@ def table4(
         workload = generate_workload(graph, num_pairs=num_pairs, seed=seed)
         base = baseline_query_seconds(graph, workload, engine=engine)
         for k in ks:
-            powcov = run_powcov(
-                graph, workload, k, seed=seed, baseline_seconds=base,
-                engine=engine,
-            )
+            with span("table4.row", dataset=name, index="PowCov", k=k):
+                powcov = run_powcov(
+                    graph, workload, k, seed=seed, baseline_seconds=base,
+                    engine=engine,
+                )
             cells.append(Table4Cell(name, "PowCov", k, powcov))
-            chroml = run_chromland(
-                graph, workload, k, iterations=chromland_iterations,
-                seed=seed, baseline_seconds=base, engine=engine,
-            )
+            with span("table4.row", dataset=name, index="ChromLand", k=k):
+                chroml = run_chromland(
+                    graph, workload, k, iterations=chromland_iterations,
+                    seed=seed, baseline_seconds=base, engine=engine,
+                )
             cells.append(Table4Cell(name, "ChromLand", k, chroml))
     return cells
 

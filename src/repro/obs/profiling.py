@@ -1,0 +1,102 @@
+"""Opt-in profiling hooks: cProfile + tracemalloc around build/query phases.
+
+Profiling is strictly opt-in (``REPRO_PROFILE=1`` in the environment or the
+eval CLI's ``--profile`` flag); when off, :func:`profile_phase` is a bare
+``yield``.  When on, each phase writes two artifacts next to the results:
+
+* ``profile-<phase>.pstats`` — the raw cProfile dump (``python -m pstats``
+  or snakeviz-compatible);
+* ``profile-<phase>.txt`` — a human-readable summary: top functions by
+  cumulative time plus the tracemalloc peak for the phase.
+
+Phases never nest their profilers: cProfile refuses concurrent sessions
+and tracemalloc is process-global, so an inner phase inside an already
+profiled outer phase simply runs unprofiled.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import re
+import tracemalloc
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = [
+    "set_profiling",
+    "profiling_enabled",
+    "profile_dir",
+    "profile_phase",
+]
+
+_ENABLED = False
+_DIR: str | None = None
+_ACTIVE = False  # a phase is currently being profiled (no nesting)
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def set_profiling(enabled: bool, directory: str | None = None) -> None:
+    """Enable/disable profiling; ``directory`` receives the artifacts."""
+    global _ENABLED, _DIR
+    _ENABLED = bool(enabled)
+    if directory is not None:
+        _DIR = directory
+
+
+def profiling_enabled() -> bool:
+    """True when enabled explicitly or via ``REPRO_PROFILE=1``."""
+    return _ENABLED or os.environ.get("REPRO_PROFILE", "") == "1"
+
+
+def profile_dir() -> str:
+    """Artifact directory: explicit setting, else ``REPRO_PROFILE_DIR``, else cwd."""
+    if _DIR is not None:
+        return _DIR
+    return os.environ.get("REPRO_PROFILE_DIR", ".")
+
+
+def _artifact_base(phase: str) -> str:
+    directory = profile_dir()
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"profile-{_SAFE_NAME.sub('_', phase)}")
+
+
+@contextmanager
+def profile_phase(phase: str, top: int = 25) -> Iterator[None]:
+    """Profile the enclosed block when profiling is on; no-op otherwise."""
+    global _ACTIVE
+    if not profiling_enabled() or _ACTIVE:
+        yield
+        return
+    _ACTIVE = True
+    started_tracemalloc = not tracemalloc.is_tracing()
+    if started_tracemalloc:
+        tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        _current, peak = tracemalloc.get_traced_memory()
+        if started_tracemalloc:
+            tracemalloc.stop()
+        _ACTIVE = False
+        base = _artifact_base(phase)
+        profiler.dump_stats(base + ".pstats")
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        with open(base + ".txt", "w", encoding="utf-8") as handle:
+            handle.write(f"phase: {phase}\n")
+            handle.write(
+                f"tracemalloc: baseline={baseline / 1e6:.2f}MB "
+                f"peak={peak / 1e6:.2f}MB "
+                f"(delta={max(0, peak - baseline) / 1e6:.2f}MB)\n\n"
+            )
+            handle.write(buffer.getvalue())

@@ -23,6 +23,17 @@ Backends
     One ``task`` call over the full item list in the calling thread.  This
     is the default; it also lets chunk-aware tasks (e.g. the batched BFS
     sweeps of ChromLand) see every item at once.
+
+Tracing
+-------
+When :mod:`repro.obs.trace` tracing is on, ``run_tasks`` opens a
+``parallel.run_tasks`` span.  Serial-backend task spans nest under it
+naturally.  Process workers receive the tracing flag through the pool
+initializer, trace each chunk locally, and ship the finished span dicts
+home inside the chunk payload, where they are grafted under the parent
+span — so a process-parallel build renders as one tree.  Thread-backend
+worker spans surface as separate trace roots (each worker thread has its
+own span stack).
 """
 
 from __future__ import annotations
@@ -34,6 +45,14 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..graph.labeled_graph import EdgeLabeledGraph
+from ..obs.trace import (
+    attach_spans,
+    export_trace,
+    reset_trace,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
 from . import shm as _shm
 
 __all__ = [
@@ -145,16 +164,32 @@ def _chunks(items: Sequence[Any], config: ParallelConfig) -> list[Sequence[Any]]
 _worker_state: dict[str, Any] = {}
 
 
-def _worker_init(descriptors, task, extra) -> None:
+def _worker_init(descriptors, task, extra, tracing: bool = False) -> None:
     attached = [_shm.attach_graph(d) for d in descriptors]
     _worker_state["attached"] = attached  # keeps the shm blocks alive
     _worker_state["graphs"] = tuple(a.graph for a in attached)
     _worker_state["task"] = task
     _worker_state["extra"] = extra
+    set_tracing(tracing)
 
 
-def _worker_run(chunk) -> list:
-    return _worker_state["task"](_worker_state["graphs"], chunk, _worker_state["extra"])
+#: Marker key identifying a traced chunk payload (vs. a plain result list).
+_TRACE_KEY = "__repro_trace__"
+
+
+def _worker_run(chunk) -> Any:
+    task = _worker_state["task"]
+    graphs = _worker_state["graphs"]
+    extra = _worker_state["extra"]
+    if not tracing_enabled():
+        return task(graphs, chunk, extra)
+    # Trace the chunk locally and ship the finished spans home with the
+    # results; workers are reused, so drop the previous chunk's spans first.
+    reset_trace()
+    with span("parallel.worker_chunk", pid=os.getpid()) as chunk_span:
+        chunk_span.count("items", len(chunk))
+        results = task(graphs, chunk, extra)
+    return {_TRACE_KEY: export_trace(), "results": results}
 
 
 def run_tasks(
@@ -173,31 +208,43 @@ def run_tasks(
     if len(items) == 0:
         return []
     if config.backend == "serial" or config.effective_workers <= 1 or len(items) == 1:
-        return list(task(graphs, items, extra))
+        with span("parallel.run_tasks", backend="serial") as serial_span:
+            serial_span.count("items", len(items))
+            return list(task(graphs, items, extra))
 
     chunks = _chunks(items, config)
     workers = min(config.effective_workers, len(chunks))
 
-    if config.backend == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            chunk_results = list(pool.map(lambda c: task(graphs, c, extra), chunks))
-    else:
-        pack = _shm.share_graphs(graphs)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                initargs=(pack.descriptors, task, extra),
-            ) as pool:
-                chunk_results = list(pool.map(_worker_run, chunks))
-        finally:
-            pack.release()
+    with span(
+        "parallel.run_tasks", backend=config.backend, workers=workers
+    ) as run_span:
+        run_span.count("items", len(items))
+        run_span.count("chunks", len(chunks))
+        if config.backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                chunk_results = list(
+                    pool.map(lambda c: task(graphs, c, extra), chunks)
+                )
+        else:
+            pack = _shm.share_graphs(graphs)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(pack.descriptors, task, extra, tracing_enabled()),
+                ) as pool:
+                    chunk_results = list(pool.map(_worker_run, chunks))
+            finally:
+                pack.release()
 
-    results: list = []
-    for chunk_result in chunk_results:
-        results.extend(chunk_result)
-    if len(results) != len(items):
-        raise RuntimeError(
-            f"task returned {len(results)} results for {len(items)} items"
-        )
-    return results
+        results: list = []
+        for chunk_result in chunk_results:
+            if isinstance(chunk_result, dict) and _TRACE_KEY in chunk_result:
+                attach_spans(chunk_result[_TRACE_KEY])
+                chunk_result = chunk_result["results"]
+            results.extend(chunk_result)
+        if len(results) != len(items):
+            raise RuntimeError(
+                f"task returned {len(results)} results for {len(items)} items"
+            )
+        return results

@@ -1,0 +1,22 @@
+# lint-module: repro/perf/timing.py
+"""Fixture: monotonic/CPU clocks are the sanctioned timers."""
+
+from __future__ import annotations
+
+import time
+from time import perf_counter, process_time
+
+
+def _elapsed() -> float:
+    started = perf_counter()
+    cpu0 = process_time()
+    _work()
+    return (perf_counter() - started) + (time.process_time() - cpu0)
+
+
+def _sleepy(seconds: float) -> None:
+    time.sleep(seconds)
+
+
+def _work() -> None:
+    pass

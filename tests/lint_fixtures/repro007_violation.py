@@ -1,0 +1,22 @@
+# lint-module: repro/perf/timing.py
+"""Fixture: wall-clock epoch time used for measurement in library code."""
+
+from __future__ import annotations
+
+import time
+
+
+def _elapsed() -> float:
+    started = time.time()
+    _work()
+    return time.time() - started
+
+
+def _stamp() -> float:
+    return time.time()
+
+
+def _work() -> None:
+    from time import time as _now  # local import of the wall clock
+
+    _now()

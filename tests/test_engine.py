@@ -321,3 +321,59 @@ class TestEngineConfig:
             assert resolve_engine(None).cache_size == 123
         finally:
             set_default_engine(original)
+
+
+class TestCacheGraphIdentity:
+    """Answer-cache keys carry the graph fingerprint (regression).
+
+    Before the fingerprint component, a session rebound to an oracle over a
+    *different* graph kept serving the old graph's cached distances for any
+    ``(s, t, mask)`` it had already seen.
+    """
+
+    def _disagreeing_oracles(self):
+        # Same vertex count and label universe, different structure: the
+        # two graphs answer (0, 3, {r}) differently.
+        close = EdgeLabeledGraph.from_edges(
+            4, [(0, 1, 0), (1, 2, 0), (2, 3, 0)], num_labels=2
+        )
+        far = EdgeLabeledGraph.from_edges(
+            4, [(0, 1, 0), (1, 2, 1), (2, 3, 0)], num_labels=2
+        )
+        oracle_close = BidirectionalBFSBaseline(close)
+        oracle_far = BidirectionalBFSBaseline(far)
+        assert oracle_close.query(0, 3, 1) != oracle_far.query(0, 3, 1)
+        return oracle_close, oracle_far
+
+    def test_rebind_never_serves_stale_answers(self):
+        oracle_close, oracle_far = self._disagreeing_oracles()
+        batch = [(0, 3, 1), (0, 2, 1)]
+        session = QuerySession(oracle_close, cache_size=64)
+        assert session.run(batch) == scalar_answers(oracle_close, batch)
+        session.rebind(oracle_far)
+        # The old graph's entries must not match: fresh, correct answers.
+        assert session.run(batch) == scalar_answers(oracle_far, batch)
+        assert session.query(0, 3, 1) == oracle_far.query(0, 3, 1)
+
+    def test_rebind_back_revalidates_cached_answers(self):
+        oracle_close, oracle_far = self._disagreeing_oracles()
+        session = QuerySession(oracle_close, cache_size=64)
+        session.run([(0, 3, 1)])
+        session.rebind(oracle_far)
+        session.run([(0, 3, 1)])
+        hits_before = session.stats.counters.get("cache_hits", 0)
+        session.rebind(oracle_close)
+        assert session.run([(0, 3, 1)]) == [oracle_close.query(0, 3, 1)]
+        # Served from cache: the original graph's entry became a hit again.
+        assert session.stats.counters["cache_hits"] == hits_before + 1
+
+    def test_rebind_drops_plans_keeps_answers(self, undirected, landmarks):
+        index = PowCovIndex(undirected, landmarks).build()
+        session = QuerySession(index, cache_size=64)
+        batch = mixed_batch(undirected, num_queries=20)
+        session.run(batch)
+        assert session.cache_info()["cached_plans"] > 0
+        session.rebind(ChromLandIndex(undirected, landmarks,
+                                      [0] * len(landmarks)).build())
+        assert session.cache_info()["cached_plans"] == 0
+        assert session.cache_info()["cached_answers"] > 0

@@ -1,0 +1,109 @@
+"""Tests for result export (``repro.eval.export``): CSV/JSON round-trips
+and rejection of malformed rows."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.eval.export import rows_to_dicts, write_csv, write_json
+
+
+@dataclass(frozen=True)
+class Inner:
+    mean: float
+    count: int
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    value: float
+    inner: Inner
+    ks: tuple[int, ...] = (1, 2)
+    notes: list[str] = field(default_factory=list)
+
+
+ROWS = [
+    Row("alpha", 1.5, Inner(mean=0.25, count=4)),
+    Row("omega", math.inf, Inner(mean=math.nan, count=0), ks=(3,)),
+]
+
+
+class TestRowsToDicts:
+    def test_nested_dataclasses_flatten_with_dotted_keys(self):
+        flat = rows_to_dicts(ROWS)[0]
+        assert flat["name"] == "alpha"
+        assert flat["inner.mean"] == 0.25
+        assert flat["inner.count"] == 4
+        assert json.loads(flat["ks"]) == [1, 2]
+
+    def test_non_finite_floats_become_strings(self):
+        flat = rows_to_dicts(ROWS)[1]
+        assert flat["value"] == "inf"
+        assert flat["inner.mean"] == "nan"
+        assert rows_to_dicts([Row("neg", -math.inf, Inner(0.0, 0))])[0][
+            "value"
+        ] == "-inf"
+
+    def test_malformed_rows_rejected(self):
+        with pytest.raises(TypeError):
+            rows_to_dicts([{"not": "a dataclass"}])
+        with pytest.raises(TypeError):
+            rows_to_dicts([ROWS[0], ("tuple", "row")])
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv(ROWS, path)
+        with open(path, newline="", encoding="utf-8") as handle:
+            records = list(csv.DictReader(handle))
+        assert len(records) == 2
+        assert records[0]["name"] == "alpha"
+        assert float(records[0]["inner.mean"]) == 0.25
+        assert records[1]["value"] == "inf"
+        assert json.loads(records[1]["ks"]) == [3]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "empty.csv")
+
+    def test_header_is_union_of_fields(self, tmp_path):
+        @dataclass(frozen=True)
+        class Extra:
+            name: str
+            bonus: int
+
+        path = tmp_path / "mixed.csv"
+        write_csv([Extra("x", 1)], path)
+        with open(path, newline="", encoding="utf-8") as handle:
+            assert csv.DictReader(handle).fieldnames == ["name", "bonus"]
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rows.json"
+        write_json(ROWS, path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload[0]["inner"] == {"mean": 0.25, "count": 4}
+        assert payload[1]["value"] == "inf"
+        assert payload[1]["inner"]["mean"] == "nan"
+        assert payload[0]["ks"] == [1, 2]
+
+
+class TestRealTableRows:
+    def test_table1_rows_export(self, tmp_path):
+        from repro.eval.tables import table1
+
+        rows = table1(scale=0.1, num_pairs=10, seed=3)
+        write_csv(rows, tmp_path / "table1.csv")
+        write_json(rows, tmp_path / "table1.json")
+        with open(tmp_path / "table1.csv", newline="", encoding="utf-8") as handle:
+            records = list(csv.DictReader(handle))
+        assert len(records) == len(rows)
+        assert records[0]["dataset"] == rows[0].dataset

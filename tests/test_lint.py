@@ -25,6 +25,7 @@ VIOLATIONS = {
     "REPRO004": ("repro004_violation.py", 2),
     "REPRO005": ("repro005_violation.py", 2),
     "REPRO006": ("repro006_violation.py", 1),
+    "REPRO007": ("repro007_violation.py", 4),
 }
 
 CLEAN = {
@@ -34,6 +35,7 @@ CLEAN = {
     "REPRO004": "repro004_clean.py",
     "REPRO005": "repro005_clean.py",
     "REPRO006": "repro006_clean.py",
+    "REPRO007": "repro007_clean.py",
 }
 
 

@@ -52,6 +52,21 @@ class TestRepeatIndexRun:
         assert result.index == "chromland"
         assert result.relative_error.mean >= 0
 
+    def test_same_seeds_are_deterministic(self):
+        """Repeating the same seed tuple reproduces every quality metric
+        exactly — only the timing-derived ``speedup`` may drift."""
+        kwargs = dict(k=4, seeds=(7, 8), scale=0.15, num_pairs=20)
+        first = repeat_index_run("youtube-sim", "powcov", **kwargs)
+        second = repeat_index_run("youtube-sim", "powcov", **kwargs)
+        for metric in (
+            "absolute_error",
+            "relative_error",
+            "exact_percent",
+            "false_negative_percent",
+        ):
+            a, b = getattr(first, metric), getattr(second, metric)
+            assert (a.mean, a.std, a.num_seeds) == (b.mean, b.std, b.num_seeds), metric
+
     def test_validation(self):
         with pytest.raises(ValueError, match="index"):
             repeat_index_run("youtube-sim", "magic", k=3)
