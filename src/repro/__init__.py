@@ -54,9 +54,11 @@ from .core import (
     WeightedPowCovIndex,
     constrained_nearest,
     load_chromland,
+    load_index,
     load_powcov,
     rank_candidates,
     save_chromland,
+    save_index,
     save_powcov,
 )
 from .core.chromland import local_search_selection, random_selection
@@ -98,8 +100,10 @@ __all__ = [
     "constrained_nearest",
     "rank_candidates",
     "load_chromland",
+    "load_index",
     "load_powcov",
     "save_chromland",
+    "save_index",
     "save_powcov",
     "random_selection",
     "EngineConfig",

@@ -9,8 +9,10 @@ from .nearest import constrained_nearest, rank_candidates
 from .powcov import PowCovIndex, WeightedPowCovIndex
 from .serialize import (
     load_chromland,
+    load_index,
     load_powcov,
     save_chromland,
+    save_index,
     save_powcov,
 )
 from .trie import LabelSetTrie
@@ -32,7 +34,9 @@ __all__ = [
     "constrained_nearest",
     "rank_candidates",
     "load_chromland",
+    "load_index",
     "load_powcov",
     "save_chromland",
+    "save_index",
     "save_powcov",
 ]

@@ -18,6 +18,14 @@ landmark/color arrays are stored verbatim.
 The graph itself is *not* embedded — the caller supplies it on load (it
 has its own persistence in :mod:`repro.graph.io`) and a fingerprint check
 rejects mismatched graphs.
+
+The ``.npz`` archives here are the *eager* format: loading regroups the
+arrays into Python dicts before the first query.  The mmap-able store
+format (:mod:`repro.store`) skips that cold-start cost entirely;
+:func:`save_index` / :func:`load_index` dispatch between the two (the
+loader sniffs the file magic, so either format round-trips through the
+same call).  Malformed or version-skewed payloads raise
+:class:`~repro.store.format.FormatError` from either path.
 """
 
 from __future__ import annotations
@@ -27,17 +35,25 @@ import os
 import numpy as np
 
 from ..graph.labeled_graph import EdgeLabeledGraph
+from ..store.format import FormatError, is_store_file
 from .chromland import ChromLandIndex
 from .powcov import PowCovIndex
 from .powcov.spminimal import LandmarkSPMinimal
 
 __all__ = [
+    "NPZ_FORMAT_VERSION",
     "graph_fingerprint",
     "save_powcov",
     "load_powcov",
     "save_chromland",
     "load_chromland",
+    "save_index",
+    "load_index",
 ]
+
+#: Version stamped into every ``.npz`` payload; bumped on layout changes so
+#: stale files fail with a clear :class:`FormatError`, not a ``KeyError``.
+NPZ_FORMAT_VERSION = 1
 
 
 _FNV_OFFSET = 1469598103934665603
@@ -137,13 +153,37 @@ def _arrays_to_entries(
     return per_landmark
 
 
+def _check_npz_version(path: str | os.PathLike, data) -> None:
+    """Reject payloads with a missing or unknown format-version field."""
+    if "format_version" not in data:
+        raise FormatError(
+            f"{path} has no format-version field "
+            "(pre-versioned payload or not a repro index file)"
+        )
+    version = int(data["format_version"])
+    if version != NPZ_FORMAT_VERSION:
+        raise FormatError(
+            f"{path}: unsupported npz index format version {version} "
+            f"(this build reads version {NPZ_FORMAT_VERSION})"
+        )
+
+
+def _reject_mapped(index: PowCovIndex | ChromLandIndex) -> None:
+    if getattr(index, "is_mapped", False):
+        raise ValueError(
+            "mapped indexes are serving-only; save the originally built index"
+        )
+
+
 def save_powcov(index: PowCovIndex, path: str | os.PathLike) -> None:
     """Serialize a built PowCov index (flat storage layouts only)."""
+    _reject_mapped(index)
     if not index._built:  # noqa: SLF001 - serialization is a friend module
         raise ValueError("build the index before saving it")
     forward = _entries_to_arrays(index.per_landmark)
     payload = {
         "kind": np.str_("powcov"),
+        "format_version": np.int64(NPZ_FORMAT_VERSION),
         "fingerprint": graph_fingerprint(index.graph),
         "landmarks": np.asarray(index.landmarks, dtype=np.int64),
         "estimator": np.str_(index.estimator),
@@ -165,10 +205,11 @@ def save_powcov(index: PowCovIndex, path: str | os.PathLike) -> None:
 def load_powcov(path: str | os.PathLike, graph: EdgeLabeledGraph) -> PowCovIndex:
     """Load a PowCov index saved by :func:`save_powcov` for ``graph``."""
     with np.load(path, allow_pickle=False) as data:
+        _check_npz_version(path, data)
         if str(data["kind"]) != "powcov":
-            raise ValueError(f"{path} is not a PowCov index file")
+            raise FormatError(f"{path} is not a PowCov index file")
         if np.int64(data["fingerprint"]) != graph_fingerprint(graph):
-            raise ValueError("index file was built for a different graph")
+            raise FormatError("index file was built for a different graph")
         landmarks = [int(x) for x in data["landmarks"]]
         index = PowCovIndex(
             graph, landmarks, storage="flat", estimator=str(data["estimator"])
@@ -185,15 +226,19 @@ def load_powcov(path: str | os.PathLike, graph: EdgeLabeledGraph) -> PowCovIndex
             )
             index._flat_reverse = [r.entries for r in index.per_landmark_reverse]
         index._built = True
+        #: checked by the engine session against the live graph on open.
+        index.stored_fingerprint = int(data["fingerprint"])
         return index
 
 
 def save_chromland(index: ChromLandIndex, path: str | os.PathLike) -> None:
     """Serialize a built ChromLand index."""
+    _reject_mapped(index)
     if index.mono is None:
         raise ValueError("build the index before saving it")
     payload = {
         "kind": np.str_("chromland"),
+        "format_version": np.int64(NPZ_FORMAT_VERSION),
         "fingerprint": graph_fingerprint(index.graph),
         "landmarks": index.landmarks,
         "colors": index.colors,
@@ -212,10 +257,11 @@ def load_chromland(
 ) -> ChromLandIndex:
     """Load a ChromLand index saved by :func:`save_chromland` for ``graph``."""
     with np.load(path, allow_pickle=False) as data:
+        _check_npz_version(path, data)
         if str(data["kind"]) != "chromland":
-            raise ValueError(f"{path} is not a ChromLand index file")
+            raise FormatError(f"{path} is not a ChromLand index file")
         if np.int64(data["fingerprint"]) != graph_fingerprint(graph):
-            raise ValueError("index file was built for a different graph")
+            raise FormatError("index file was built for a different graph")
         index = ChromLandIndex(
             graph,
             [int(x) for x in data["landmarks"]],
@@ -227,4 +273,63 @@ def load_chromland(
         if "mono_in" in data:
             index.mono_in = data["mono_in"]
         index._built = True  # noqa: SLF001
+        #: checked by the engine session against the live graph on open.
+        index.stored_fingerprint = int(data["fingerprint"])
         return index
+
+
+# ----------------------------------------------------------------------
+# Format-agnostic entry points (npz fallback + mmap store)
+# ----------------------------------------------------------------------
+def save_index(
+    index: PowCovIndex | ChromLandIndex,
+    path: str | os.PathLike,
+    format: str | None = None,
+    compress: bool = False,
+) -> None:
+    """Persist a built index in either format.
+
+    ``format`` is ``"npz"``, ``"mmap"``, or ``None`` to infer from the
+    path suffix (``.npz`` → npz, anything else → the mmap store format).
+    ``compress`` applies to the store format only (varint/delta sections).
+    """
+    if format is None:
+        format = "npz" if os.fspath(path).endswith(".npz") else "mmap"
+    if format == "npz":
+        if isinstance(index, PowCovIndex):
+            save_powcov(index, path)
+        elif isinstance(index, ChromLandIndex):
+            save_chromland(index, path)
+        else:
+            raise TypeError(f"cannot save index of type {type(index).__name__}")
+        return
+    if format == "mmap":
+        from ..store.index_store import save_index as store_save
+
+        store_save(index, path, compress=compress)
+        return
+    raise ValueError(f"format must be 'npz', 'mmap' or None, got {format!r}")
+
+
+def load_index(
+    path: str | os.PathLike, graph: EdgeLabeledGraph
+) -> PowCovIndex | ChromLandIndex:
+    """Load any persisted index for ``graph``, autodetecting the format.
+
+    Store files (sniffed by magic) open as zero-copy mapped indexes;
+    ``.npz`` archives deserialize eagerly through :func:`load_powcov` /
+    :func:`load_chromland`.  Either way the loaded index carries
+    ``stored_fingerprint`` and has been verified against ``graph``.
+    """
+    if is_store_file(path):
+        from ..store.index_store import open_index
+
+        return open_index(path, graph)
+    with np.load(path, allow_pickle=False) as data:
+        _check_npz_version(path, data)
+        kind = str(data["kind"])
+    if kind == "powcov":
+        return load_powcov(path, graph)
+    if kind == "chromland":
+        return load_chromland(path, graph)
+    raise FormatError(f"{path} holds an unknown index kind {kind!r}")

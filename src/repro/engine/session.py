@@ -89,6 +89,7 @@ class QuerySession:
         self.plan_cache_size = plan_cache_size
         self.stats = Instrumentation()
         self._fingerprint = self._oracle_fingerprint(oracle)
+        self._check_stored_fingerprint(oracle)
         self._answers: OrderedDict[tuple[int, int, int, int], float] = OrderedDict()
         self._plans: OrderedDict[int, Any] = OrderedDict()
 
@@ -99,6 +100,25 @@ class QuerySession:
         from ..core.serialize import graph_fingerprint
 
         return int(graph_fingerprint(oracle.graph))
+
+    def _check_stored_fingerprint(self, oracle: DistanceOracle) -> None:
+        """Reject oracles loaded from an index file of a different graph.
+
+        Indexes deserialized by :mod:`repro.core.serialize` /
+        :mod:`repro.store` carry the fingerprint embedded in their file as
+        ``stored_fingerprint``; the loaders verify it against the graph
+        they were given, and this re-check at session-open time closes the
+        remaining gap — an oracle whose graph was swapped *after* loading
+        (or a hand-built oracle with a stale attribute) can never serve.
+        """
+        stored = getattr(oracle, "stored_fingerprint", None)
+        if stored is not None and int(stored) != self._fingerprint:
+            from ..store.format import FormatError
+
+            raise FormatError(
+                "oracle was loaded from an index file built for a different "
+                "graph (stored fingerprint does not match the bound graph)"
+            )
 
     def rebind(self, oracle: DistanceOracle) -> None:
         """Point this session at another oracle, keeping the answer cache.
@@ -111,6 +131,7 @@ class QuerySession:
         self.oracle = oracle
         self.executor = executor_for(oracle)
         self._fingerprint = self._oracle_fingerprint(oracle)
+        self._check_stored_fingerprint(oracle)
         self._plans.clear()
 
     # ------------------------------------------------------------------

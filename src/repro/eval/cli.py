@@ -96,6 +96,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="engine answer-cache entries per session "
                         "(0 disables answer caching; only meaningful "
                         "with --engine)")
+    parser.add_argument("--save-index", metavar="DIR", default=None,
+                        help="persist every index built during the run into "
+                        "DIR (fingerprint-addressed files) and reuse any "
+                        "already present, instead of rebuilding from "
+                        "scratch on every invocation")
+    parser.add_argument("--load-index", metavar="DIR", default=None,
+                        help="like --save-index but read-only: reuse cached "
+                        "indexes from DIR without ever writing to it")
+    parser.add_argument("--index-format", choices=["mmap", "npz"],
+                        default="mmap",
+                        help="on-disk index format for --save-index: 'mmap' "
+                        "is the zero-copy store format (lazy, page-cache-"
+                        "shared cold start), 'npz' the eager archive; "
+                        "loading autodetects either")
+    parser.add_argument("--index-compress", action="store_true",
+                        help="with --save-index and the mmap format: varint/"
+                        "delta-compress the integer index sections (smaller "
+                        "files, eager decode on open)")
     parser.add_argument("--selfcheck", action="store_true",
                         help="before running the command, build small "
                         "instances of both indexes and run the invariant "
@@ -151,6 +169,18 @@ def main(argv: list[str] | None = None) -> int:
         from ..core.powcov import set_default_builder
 
         set_default_builder("wave")
+    if args.save_index and args.load_index:
+        parser.error("--save-index and --load-index are mutually exclusive; "
+                     "--save-index already reuses cached indexes")
+    if args.save_index or args.load_index:
+        from ..store.cache import IndexStore, set_default_index_store
+
+        set_default_index_store(IndexStore(
+            args.save_index or args.load_index,
+            format=args.index_format,
+            compress=args.index_compress,
+            writable=args.save_index is not None,
+        ))
     if args.cache_size < 0:
         parser.error("argument --cache-size: must be >= 0")
     if args.audit and not args.engine:

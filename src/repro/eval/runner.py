@@ -21,6 +21,7 @@ from ..landmarks import select_landmarks
 from ..obs.profiling import profile_phase
 from ..obs.trace import span
 from ..perf.parallel import ParallelConfig
+from ..store.cache import IndexStore, get_default_index_store
 from ..workloads.queries import Workload
 from .metrics import OracleMetrics, evaluate_oracle, time_oracle
 
@@ -100,6 +101,7 @@ def run_powcov(
     storage: str = "flat",
     parallel: "ParallelConfig | int | None" = None,
     engine: "EngineConfig | bool | None" = None,
+    index_store: "IndexStore | None" = None,
 ) -> IndexRun:
     """Build a PowCov index with ``k`` landmarks and evaluate it.
 
@@ -111,15 +113,31 @@ def run_powcov(
     query-execution path (scalar vs. batched, see
     :func:`repro.eval.metrics.evaluate_oracle`); answers are identical,
     only timing and engine counters change.
+
+    ``index_store`` (defaulting to the process-wide store installed by the
+    CLI's ``--save-index`` / ``--load-index`` flags) short-circuits the
+    build: a cached index for this exact (graph, k, strategy, seed) is
+    loaded instead of rebuilt — ``build_seconds`` then measures the load —
+    and a freshly built index is persisted back.  Loaded indexes answer
+    queries bit-identically to freshly built ones, so the evaluated
+    metrics are unchanged; a store-format load serves through the mapped
+    (zero-copy) query path, whose layout the loader picks, superseding
+    ``storage``.
     """
-    landmarks = select_landmarks(graph, k, strategy=strategy, seed=seed)
+    store = index_store if index_store is not None else get_default_index_store()
+    tag = f"k{k}-{strategy}-s{seed}"
     started = time.perf_counter()
-    with span("eval.powcov_build", k=k, strategy=strategy), profile_phase(
-        f"powcov-build-k{k}"
-    ):
-        index = PowCovIndex(graph, landmarks, builder=builder, storage=storage).build(
-            parallel=parallel
-        )
+    index = store.load("powcov", graph, tag=tag) if store is not None else None
+    if index is None:
+        landmarks = select_landmarks(graph, k, strategy=strategy, seed=seed)
+        with span("eval.powcov_build", k=k, strategy=strategy), profile_phase(
+            f"powcov-build-k{k}"
+        ):
+            index = PowCovIndex(
+                graph, landmarks, builder=builder, storage=storage
+            ).build(parallel=parallel)
+        if store is not None:
+            store.save(index, tag=tag)
     build_seconds = time.perf_counter() - started
     with profile_phase(f"powcov-query-k{k}"):
         metrics = evaluate_oracle(index, workload, engine=engine)
@@ -146,6 +164,7 @@ def run_chromland(
     query_mode: str = "auxiliary",
     parallel: "ParallelConfig | int | None" = None,
     engine: "EngineConfig | bool | None" = None,
+    index_store: "IndexStore | None" = None,
 ) -> IndexRun:
     """Build a ChromLand index with ``k`` landmarks and evaluate it.
 
@@ -156,10 +175,30 @@ def run_chromland(
     * ``"random-majority"`` — random landmarks, majority-incident colors;
     * ``"degree-majority"`` / ``"degree-random"`` — top-degree landmarks
       with majority / random colors (B-Best candidates of Section 5.3).
+
+    ``index_store`` behaves as in :func:`run_powcov`: a cached index for
+    this exact configuration is loaded instead of re-selected and rebuilt,
+    and fresh builds are persisted back.
     """
     import numpy as np
 
+    store = index_store if index_store is not None else get_default_index_store()
+    tag = f"k{k}-{selection}-i{iterations}-s{seed}-{query_mode}"
     started = time.perf_counter()
+    cached = store.load("chromland", graph, tag=tag) if store is not None else None
+    if cached is not None:
+        build_seconds = time.perf_counter() - started
+        with profile_phase(f"chromland-query-k{k}"):
+            metrics = evaluate_oracle(cached, workload, engine=engine)
+        if baseline_seconds is None:
+            baseline_seconds = baseline_query_seconds(graph, workload, engine=engine)
+        return IndexRun(
+            index_name=f"chromland[{selection}]",
+            num_landmarks=k,
+            build_seconds=build_seconds,
+            metrics=metrics,
+            speedup=speedup_factor(baseline_seconds, metrics),
+        )
     if selection == "local-search":
         result = local_search_selection(graph, k, iterations=iterations, seed=seed)
         landmarks, colors = result.landmarks, result.colors
@@ -184,6 +223,8 @@ def run_chromland(
         index = ChromLandIndex(graph, landmarks, colors, query_mode=query_mode).build(
             parallel=parallel
         )
+    if store is not None:
+        store.save(index, tag=tag)
     build_seconds = time.perf_counter() - started
     with profile_phase(f"chromland-query-k{k}"):
         metrics = evaluate_oracle(index, workload, engine=engine)

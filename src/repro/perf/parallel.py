@@ -11,10 +11,13 @@ for any deterministic task, regardless of worker count or scheduling.
 Backends
 --------
 ``"process"``
-    ``ProcessPoolExecutor``.  The graphs are exported once into shared
-    memory (:mod:`repro.perf.shm`) and every worker attaches zero-copy
-    views in its initializer, so the graph is never pickled per task.  The
-    shared blocks are closed and unlinked in a ``finally`` block — also
+    ``ProcessPoolExecutor``.  The graphs are exported once through
+    :mod:`repro.perf.shm` and every worker attaches zero-copy views in
+    its initializer, so the graph is never pickled per task.  Graphs
+    opened from a mapped store file (:mod:`repro.store`) are shared by
+    file region — workers map the same file and the page cache holds one
+    physical copy; in-memory graphs are copied once into shared-memory
+    blocks, which are closed and unlinked in a ``finally`` block — also
     when a worker raises.
 ``"thread"``
     ``ThreadPoolExecutor`` over the in-process graphs.  Useful when the

@@ -2,10 +2,18 @@
 
 Pickling an :class:`~repro.graph.labeled_graph.EdgeLabeledGraph` per task
 copies the full CSR arrays into every worker on every submission.  This
-module instead exports the three CSR arrays (``indptr``, ``neighbors``,
-``edge_labels``) into ``multiprocessing.shared_memory`` blocks **once**;
-workers reconstruct zero-copy numpy views over the same physical pages, so
-task submission only ships a small picklable :class:`GraphDescriptor`.
+module instead shares the arrays physically and ships only a small
+picklable :class:`GraphDescriptor` per submission, through one of two
+paths chosen per array:
+
+* **File-backed** (:class:`FileArraySpec`) — when an array is already a
+  view over an ``np.memmap`` (a graph opened from the
+  :mod:`repro.store` format), nothing is copied at all: the descriptor
+  records ``(path, offset, shape, dtype)`` and every worker maps the same
+  file region, sharing one physical copy through the page cache.
+* **Shm-block** (:class:`ArraySpec`) — in-memory arrays are copied once
+  into ``multiprocessing.shared_memory`` blocks; workers reconstruct
+  zero-copy numpy views over the same pages.
 
 Lifecycle
 ---------
@@ -13,13 +21,15 @@ The parent calls :func:`share_graphs` and is responsible for calling
 :meth:`SharedGraphPack.close` and :meth:`SharedGraphPack.unlink` when the
 pool is done — :func:`repro.perf.parallel.run_tasks` does this in a
 ``finally`` block so the blocks are released even when a worker raises.
-Workers call :func:`attach_graph` and keep the returned
-:class:`AttachedGraph` alive for as long as they use the graph (the numpy
-views borrow the shared buffer).
+(File-backed specs own nothing and need no cleanup.)  Workers call
+:func:`attach_graph` and keep the returned :class:`AttachedGraph` alive
+for as long as they use the graph (the numpy views borrow the shared
+buffer or mapping).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -29,6 +39,7 @@ from ..graph.labeled_graph import EdgeLabeledGraph
 
 __all__ = [
     "ArraySpec",
+    "FileArraySpec",
     "GraphDescriptor",
     "SharedGraphPack",
     "AttachedGraph",
@@ -39,9 +50,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ArraySpec:
-    """Picklable description of one shared numpy array."""
+    """Picklable description of one shm-block-backed numpy array."""
 
     block_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class FileArraySpec:
+    """Picklable description of one file-backed (memmap) numpy array."""
+
+    path: str
+    #: absolute byte offset of the array's first element within the file.
+    offset: int
     shape: tuple[int, ...]
     dtype: str
 
@@ -50,16 +72,45 @@ class ArraySpec:
 class GraphDescriptor:
     """Everything a worker needs to reattach one graph (small, picklable)."""
 
-    indptr: ArraySpec
-    neighbors: ArraySpec
-    edge_labels: ArraySpec
+    indptr: "ArraySpec | FileArraySpec"
+    neighbors: "ArraySpec | FileArraySpec"
+    edge_labels: "ArraySpec | FileArraySpec"
     num_labels: int
     directed: bool
     num_edges: int
 
 
-def _export_array(array: np.ndarray) -> tuple[shared_memory.SharedMemory, ArraySpec]:
-    """Copy ``array`` into a fresh shared-memory block."""
+def _file_backing(array: np.ndarray) -> tuple[str, int] | None:
+    """``(path, offset)`` when ``array`` is a contiguous memmap view.
+
+    Walks the ``.base`` chain looking for an ``np.memmap``; the view's
+    file offset is the memmap's own offset plus the pointer distance
+    between the two buffers.  Returns ``None`` for plain in-memory arrays
+    (and for non-contiguous views, which the shm path handles by copying).
+    """
+    if not array.flags["C_CONTIGUOUS"]:
+        return None
+    base = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            filename = base.filename
+            if filename is None:  # pragma: no cover - anonymous mapping
+                return None
+            pointer = array.__array_interface__["data"][0]
+            base_pointer = base.__array_interface__["data"][0]
+            return os.fspath(filename), int(base.offset) + (pointer - base_pointer)
+        base = getattr(base, "base", None)
+    return None
+
+
+def _export_array(
+    array: np.ndarray,
+) -> tuple[shared_memory.SharedMemory | None, "ArraySpec | FileArraySpec"]:
+    """Describe ``array`` for workers: by file region, or by shm copy."""
+    backing = _file_backing(array)
+    if backing is not None:
+        path, offset = backing
+        return None, FileArraySpec(path, offset, tuple(array.shape), array.dtype.str)
     array = np.ascontiguousarray(array)
     # SharedMemory rejects size 0; keep one byte for empty arrays and record
     # the true shape in the spec.
@@ -69,8 +120,19 @@ def _export_array(array: np.ndarray) -> tuple[shared_memory.SharedMemory, ArrayS
     return block, ArraySpec(block.name, tuple(array.shape), array.dtype.str)
 
 
-def _attach_array(spec: ArraySpec) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+def _attach_array(
+    spec: "ArraySpec | FileArraySpec",
+) -> tuple[shared_memory.SharedMemory | None, np.ndarray]:
     """Zero-copy view over an exported array (worker side)."""
+    if isinstance(spec, FileArraySpec):
+        dtype = np.dtype(spec.dtype)
+        if any(dim == 0 for dim in spec.shape):
+            # np.memmap cannot map zero bytes; an empty array is free.
+            return None, np.empty(spec.shape, dtype=dtype)
+        view = np.memmap(
+            spec.path, mode="r", dtype=dtype, shape=spec.shape, offset=spec.offset
+        )
+        return None, view
     try:
         # Python >= 3.13: opt out of resource tracking for attach-only
         # handles; cleanup belongs to the creating process alone.
@@ -138,19 +200,22 @@ class AttachedGraph:
 
 
 def share_graphs(graphs: tuple[EdgeLabeledGraph, ...]) -> SharedGraphPack:
-    """Export every graph's CSR arrays into shared memory.
+    """Export every graph's CSR arrays for zero-copy worker access.
 
-    On failure mid-export the already-created blocks are released before
-    re-raising, so no segment can leak.
+    Arrays already backed by a mapped store file are described by their
+    file region (no copy, no owned resource); the rest are copied into
+    shared-memory blocks.  On failure mid-export the already-created
+    blocks are released before re-raising, so no segment can leak.
     """
     blocks: list[shared_memory.SharedMemory] = []
     descriptors: list[GraphDescriptor] = []
     try:
         for graph in graphs:
-            specs = []
+            specs: list[ArraySpec | FileArraySpec] = []
             for array in (graph.indptr, graph.neighbors, graph.edge_labels):
                 block, spec = _export_array(array)
-                blocks.append(block)
+                if block is not None:
+                    blocks.append(block)
                 specs.append(spec)
             descriptors.append(
                 GraphDescriptor(
@@ -181,7 +246,8 @@ def attach_graph(descriptor: GraphDescriptor) -> AttachedGraph:
     try:
         for spec in (descriptor.indptr, descriptor.neighbors, descriptor.edge_labels):
             block, view = _attach_array(spec)
-            blocks.append(block)
+            if block is not None:
+                blocks.append(block)
             arrays.append(view)
     except Exception:
         for block in blocks:

@@ -1,0 +1,139 @@
+"""Directory-backed index store: fingerprint-addressed save/load.
+
+An :class:`IndexStore` names files by ``{kind}-{fingerprint:016x}-{tag}``
+inside one directory, so a cached index can never be served against the
+wrong graph — a different graph hashes to a different filename, and the
+loader re-verifies the embedded fingerprint anyway.  ``format`` picks the
+on-disk representation: ``"mmap"`` (the zero-copy store format, default)
+or ``"npz"`` (the eager fallback in :mod:`repro.core.serialize`).
+
+The process-wide default mirrors the other opt-in defaults
+(:func:`repro.core.powcov.set_default_builder`,
+:func:`repro.perf.parallel.set_default_parallel`): the eval CLI's
+``--save-index`` / ``--load-index`` flags route through
+:func:`set_default_index_store`, and the eval runners consult
+:func:`get_default_index_store` before rebuilding an index from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..core.chromland import ChromLandIndex
+    from ..core.powcov import PowCovIndex
+    from ..graph.labeled_graph import EdgeLabeledGraph
+
+__all__ = [
+    "IndexStore",
+    "set_default_index_store",
+    "get_default_index_store",
+]
+
+_FORMATS = ("mmap", "npz")
+_SUFFIX_OF = {"mmap": ".repro", "npz": ".npz"}
+
+
+class IndexStore:
+    """One directory of persisted indexes, addressed by graph fingerprint.
+
+    Parameters
+    ----------
+    directory:
+        Where the files live; created on first save.
+    format:
+        ``"mmap"`` (store format, lazy open) or ``"npz"`` (eager fallback).
+    compress:
+        Store format only: varint/delta-compress the integer sections.
+    writable:
+        ``False`` makes :meth:`save` a no-op — the CLI's pure
+        ``--load-index`` mode, where a read-only cache directory (e.g. a
+        shared artifact volume) must never be written to.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        format: str = "mmap",
+        compress: bool = False,
+        writable: bool = True,
+    ) -> None:
+        if format not in _FORMATS:
+            raise ValueError(f"format must be one of {_FORMATS}, got {format!r}")
+        self.directory = os.fspath(directory)
+        self.format = format
+        self.compress = compress
+        self.writable = writable
+
+    def path_for(
+        self, kind: str, graph: "EdgeLabeledGraph", tag: str = "default"
+    ) -> str:
+        """Canonical path for (kind, graph, tag) in the configured format."""
+        from ..core.serialize import graph_fingerprint  # local: avoids cycle
+
+        name = f"{kind}-{int(graph_fingerprint(graph)):016x}-{tag}"
+        return os.path.join(self.directory, name + _SUFFIX_OF[self.format])
+
+    def find(
+        self, kind: str, graph: "EdgeLabeledGraph", tag: str = "default"
+    ) -> str | None:
+        """An existing file for (kind, graph, tag), preferring the
+        configured format but accepting the other one."""
+        from ..core.serialize import graph_fingerprint  # local: avoids cycle
+
+        name = f"{kind}-{int(graph_fingerprint(graph)):016x}-{tag}"
+        preferred = _SUFFIX_OF[self.format]
+        for suffix in (preferred, *(s for s in _SUFFIX_OF.values() if s != preferred)):
+            candidate = os.path.join(self.directory, name + suffix)
+            if os.path.isfile(candidate):
+                return candidate
+        return None
+
+    def load(
+        self, kind: str, graph: "EdgeLabeledGraph", tag: str = "default"
+    ) -> "PowCovIndex | ChromLandIndex | None":
+        """Open the cached index for ``graph``, or ``None`` if absent."""
+        path = self.find(kind, graph, tag)
+        if path is None:
+            return None
+        from ..core.serialize import load_index  # local: avoids cycle
+
+        return load_index(path, graph)
+
+    def save(
+        self, index: "PowCovIndex | ChromLandIndex", tag: str = "default"
+    ) -> str | None:
+        """Persist a built index; returns the path (``None`` if read-only)."""
+        if not self.writable:
+            return None
+        from ..core.chromland import ChromLandIndex  # local: avoids cycle
+        from ..core.serialize import save_index  # local: avoids cycle
+
+        kind = "chromland" if isinstance(index, ChromLandIndex) else "powcov"
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(kind, index.graph, tag)
+        save_index(index, path, format=self.format, compress=self.compress)
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexStore({self.directory!r}, format={self.format!r}, "
+            f"compress={self.compress}, writable={self.writable})"
+        )
+
+
+#: Process-wide default store consulted by the eval runners (``None`` =
+#: always rebuild, the historical behavior).
+_default_store: IndexStore | None = None
+
+
+def set_default_index_store(store: IndexStore | None) -> None:
+    """Install (or clear, with ``None``) the process-wide index store."""
+    global _default_store
+    _default_store = store
+
+
+def get_default_index_store() -> IndexStore | None:
+    """The current process-wide index store, if any."""
+    return _default_store

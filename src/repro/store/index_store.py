@@ -1,0 +1,275 @@
+"""Reading and writing graphs/indexes in the mmap-able store format.
+
+The writers canonicalize an in-memory object into the section layout of
+:mod:`repro.store.format`; the readers hand the mapped sections straight to
+the serving structures:
+
+* ``kind="graph"`` — the CSR arrays in their native dtypes (``indptr``
+  int64, ``neighbors`` int32, ``edge_labels`` int16), so
+  :class:`~repro.graph.labeled_graph.EdgeLabeledGraph` adopts the memmap
+  views without copying.
+* ``kind="powcov"`` — the PowCov entries as flat parallel arrays globally
+  sorted by ``key = landmark_index * n + vertex`` (distance, then mask,
+  within a key).  :func:`open_index` wraps them in a
+  :class:`~repro.store.mapped.MappedPowCovIndex`; no per-landmark dicts are
+  ever rebuilt.
+* ``kind="chromland"`` — the ``mono`` / ``bi`` (and directed ``mono_in``)
+  matrices verbatim; a regular :class:`ChromLandIndex` serves directly off
+  the mapped matrices.
+
+``compress=True`` runs the integer sections through
+:mod:`repro.store.compress` (delta-varint for the sorted key/``indptr``
+sections, plain varint elsewhere); compressed sections decode eagerly on
+open, trading the page-fault laziness for file size — the index-store
+benchmark reports the measured trade-off.  Float distance sections
+(weighted PowCov) always stay raw.
+
+Every file records the owning graph's fingerprint; the readers verify it
+against the supplied graph and the loaded index carries it as
+``stored_fingerprint`` for the engine session's open-time re-check.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from ..core.chromland import ChromLandIndex
+from ..core.powcov import PowCovIndex
+from ..graph.labeled_graph import EdgeLabeledGraph
+from ..graph.labelsets import LabelUniverse
+from .format import FormatError, Store, write_store
+from .mapped import MappedPowCovIndex, MappedTable
+
+__all__ = [
+    "STORE_SUFFIX",
+    "save_index",
+    "open_index",
+    "save_graph",
+    "open_graph",
+]
+
+#: Conventional file suffix for store files (``save_index`` accepts any).
+STORE_SUFFIX = ".repro"
+
+
+def _codec(compress: bool, sorted_values: bool = False) -> str | None:
+    if not compress:
+        return None
+    return "delta-varint" if sorted_values else "varint"
+
+
+def _require_meta(store: Store, *names: str) -> list[Any]:
+    values = []
+    for name in names:
+        if name not in store.meta:
+            raise FormatError(f"{store.path}: header missing {name!r}")
+        values.append(store.meta[name])
+    return values
+
+
+def _check_fingerprint(store: Store, graph: EdgeLabeledGraph) -> int:
+    from ..core.serialize import graph_fingerprint  # local: avoids cycle
+
+    (stored,) = _require_meta(store, "fingerprint")
+    if int(stored) != int(graph_fingerprint(graph)):
+        raise FormatError("index file was built for a different graph")
+    return int(stored)
+
+
+# ----------------------------------------------------------------------
+# Indexes
+# ----------------------------------------------------------------------
+def _powcov_sections(
+    index: PowCovIndex, compress: bool
+) -> list[tuple[str, np.ndarray, str | None]]:
+    from ..core.serialize import _entries_to_arrays  # local: avoids cycle
+
+    n = index.graph.num_vertices
+    tables = [("fwd", index.per_landmark)]
+    if index.graph.directed:
+        tables.append(("rev", index.per_landmark_reverse))
+    sections: list[tuple[str, np.ndarray, str | None]] = []
+    for prefix, per_landmark in tables:
+        landmark_idx, vertex, distance, mask = _entries_to_arrays(per_landmark)
+        key = landmark_idx.astype(np.int64) * n + vertex
+        # Global sort by (key, distance, mask): within one (landmark,
+        # vertex) pair this is exactly the flat layout's list order, so the
+        # mapped first-subset-hit scan returns the Theorem 1 minimum.
+        order = np.lexsort((mask, distance, key))
+        key = key[order]
+        distance = distance[order]
+        mask = mask[order]
+        integral = bool(np.all(distance == np.floor(distance)))
+        sections.append((f"{prefix}_key", key, _codec(compress, sorted_values=True)))
+        if integral:
+            sections.append(
+                (f"{prefix}_dist", distance.astype(np.int64), _codec(compress))
+            )
+        else:
+            sections.append((f"{prefix}_dist", distance, None))
+        sections.append((f"{prefix}_mask", mask, _codec(compress)))
+    return sections
+
+
+def save_index(
+    index: PowCovIndex | ChromLandIndex,
+    path: str | os.PathLike[str],
+    compress: bool = False,
+) -> None:
+    """Write a built index as a store file (see the module docstring)."""
+    from ..core.serialize import graph_fingerprint  # local: avoids cycle
+
+    if getattr(index, "is_mapped", False):
+        raise ValueError(
+            "mapped indexes are serving-only; save the originally built index"
+        )
+    fingerprint = int(graph_fingerprint(index.graph))
+    if isinstance(index, PowCovIndex):
+        if not index._built:  # noqa: SLF001 - store is a friend module
+            raise ValueError("build the index before saving it")
+        meta = {
+            "fingerprint": fingerprint,
+            "estimator": index.estimator,
+            "directed": index.graph.directed,
+            "num_vertices": index.graph.num_vertices,
+        }
+        sections = [
+            ("landmarks", np.asarray(index.landmarks, dtype=np.int64),
+             _codec(compress)),
+        ]
+        sections.extend(_powcov_sections(index, compress))
+        write_store(path, "powcov", meta, sections)
+        return
+    if isinstance(index, ChromLandIndex):
+        if index.mono is None:
+            raise ValueError("build the index before saving it")
+        meta = {
+            "fingerprint": fingerprint,
+            "query_mode": index.query_mode,
+            "directed": index.graph.directed,
+        }
+        sections = [
+            ("landmarks", np.asarray(index.landmarks, dtype=np.int64),
+             _codec(compress)),
+            ("colors", np.asarray(index.colors, dtype=np.int64),
+             _codec(compress)),
+            ("mono", index.mono, _codec(compress)),
+            ("bi", index.bi, _codec(compress)),
+        ]
+        if index.mono_in is not None:
+            sections.append(("mono_in", index.mono_in, _codec(compress)))
+        write_store(path, "chromland", meta, sections)
+        return
+    raise TypeError(f"cannot save index of type {type(index).__name__}")
+
+
+def open_index(
+    path: str | os.PathLike[str], graph: EdgeLabeledGraph
+) -> PowCovIndex | ChromLandIndex:
+    """Open a store file for ``graph``: mapped PowCov or ChromLand index.
+
+    Opening reads the header only; index sections fault in lazily as
+    queries touch them (compressed sections decode on first access).
+    """
+    store = Store(path)
+    if store.kind == "powcov":
+        stored = _check_fingerprint(store, graph)
+        landmarks = [int(x) for x in store.array("landmarks")]
+        n = graph.num_vertices
+        k = len(landmarks)
+        forward = MappedTable(
+            store.array("fwd_key"), store.array("fwd_dist"),
+            store.array("fwd_mask"), k, n,
+        )
+        reverse = None
+        if "rev_key" in store:
+            reverse = MappedTable(
+                store.array("rev_key"), store.array("rev_dist"),
+                store.array("rev_mask"), k, n,
+            )
+        (estimator,) = _require_meta(store, "estimator")
+        index: PowCovIndex | ChromLandIndex = MappedPowCovIndex(
+            graph, landmarks, forward, reverse,
+            estimator=str(estimator), stored_fingerprint=stored,
+        )
+        index.source_store = store
+        return index
+    if store.kind == "chromland":
+        stored = _check_fingerprint(store, graph)
+        (query_mode,) = _require_meta(store, "query_mode")
+        index = ChromLandIndex(
+            graph,
+            [int(x) for x in store.array("landmarks")],
+            [int(c) for c in store.array("colors")],
+            query_mode=str(query_mode),
+        )
+        index.mono = store.array("mono")
+        index.bi = store.array("bi")
+        if "mono_in" in store:
+            index.mono_in = store.array("mono_in")
+        index._built = True  # noqa: SLF001 - store is a friend module
+        index.stored_fingerprint = stored
+        index.source_store = store
+        return index
+    raise FormatError(
+        f"{store.path} does not hold an index (kind={store.kind!r})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Graphs
+# ----------------------------------------------------------------------
+def save_graph(
+    graph: EdgeLabeledGraph,
+    path: str | os.PathLike[str],
+    compress: bool = False,
+) -> None:
+    """Write a graph's CSR arrays as a ``kind="graph"`` store file."""
+    from ..core.serialize import graph_fingerprint  # local: avoids cycle
+
+    label_names = None
+    if graph.label_universe is not None:
+        label_names = list(graph.label_universe)
+    meta = {
+        "fingerprint": int(graph_fingerprint(graph)),
+        "num_labels": graph.num_labels,
+        "directed": graph.directed,
+        "num_edges": graph.num_edges,
+        "label_names": label_names,
+    }
+    sections = [
+        ("indptr", graph.indptr, _codec(compress, sorted_values=True)),
+        ("neighbors", graph.neighbors, _codec(compress)),
+        ("edge_labels", graph.edge_labels, _codec(compress)),
+    ]
+    write_store(path, "graph", meta, sections)
+
+
+def open_graph(path: str | os.PathLike[str]) -> EdgeLabeledGraph:
+    """Open a graph store file as a zero-copy mapped graph.
+
+    The CSR sections are stored in the exact dtypes the constructor keeps
+    (int64/int32/int16), so the returned graph's arrays *are* the memmap
+    views — N processes opening the same file share one physical copy.
+    """
+    store = Store(path)
+    if store.kind != "graph":
+        raise FormatError(f"{store.path} is not a graph store file")
+    num_labels, directed, num_edges, fingerprint = _require_meta(
+        store, "num_labels", "directed", "num_edges", "fingerprint"
+    )
+    names = store.meta.get("label_names")
+    graph = EdgeLabeledGraph(
+        store.array("indptr"),
+        store.array("neighbors"),
+        store.array("edge_labels"),
+        num_labels=int(num_labels),
+        directed=bool(directed),
+        label_universe=LabelUniverse(names) if names else None,
+        num_edges=int(num_edges),
+    )
+    graph._fingerprint = np.int64(int(fingerprint))  # noqa: SLF001
+    return graph
