@@ -26,6 +26,13 @@ Serving::
     session = QuerySession(oracle, cache_size=8192)
     answers = session.run([(source, target, mask), ...])
 
+Dynamic graphs::
+
+    from repro import GraphDelta, apply_delta, repair_index
+    new_graph = apply_delta(graph, GraphDelta(insertions=((u, v, label),)))
+    repair_index(oracle, new_graph)     # bit-identical to a fresh build
+    session.rebind(oracle)              # still-valid answers migrate
+
 Experiments::
 
     python -m repro.eval.cli all
@@ -51,12 +58,15 @@ from .core import (
     PowCovIndex,
     Query,
     QueryAnswer,
+    RepairStats,
     WeightedPowCovIndex,
+    assert_repair_matches_rebuild,
     constrained_nearest,
     load_chromland,
     load_index,
     load_powcov,
     rank_candidates,
+    repair_index,
     save_chromland,
     save_index,
     save_powcov,
@@ -66,7 +76,9 @@ from .engine import EngineConfig, QuerySession, execute_batch
 from .graph import (
     EdgeLabeledGraph,
     GraphBuilder,
+    GraphDelta,
     LabelUniverse,
+    apply_delta,
     chromatic_cluster_graph,
     labeled_barabasi_albert,
     labeled_erdos_renyi,
@@ -105,12 +117,17 @@ __all__ = [
     "save_chromland",
     "save_index",
     "save_powcov",
+    "RepairStats",
+    "repair_index",
+    "assert_repair_matches_rebuild",
     "random_selection",
     "EngineConfig",
     "QuerySession",
     "execute_batch",
     "EdgeLabeledGraph",
     "GraphBuilder",
+    "GraphDelta",
+    "apply_delta",
     "LabelUniverse",
     "chromatic_cluster_graph",
     "labeled_barabasi_albert",

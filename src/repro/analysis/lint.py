@@ -3,13 +3,14 @@
 The generic linters (ruff, mypy) cannot see the package's *semantic*
 conventions: which arrays are immutable, which module owns bitmask
 construction, which loops are allowed to be scalar.  This module encodes
-those conventions as seven mechanical rules over the Python AST:
+those conventions as eight mechanical rules over the Python AST:
 
 ``REPRO001``
     CSR arrays (``indptr`` / ``neighbors`` / ``edge_labels``) are
-    immutable outside ``graph/labeled_graph.py``: no attribute stores, no
-    element stores, no ``setflags`` calls, no in-place ufuncs (``out=`` /
-    ``np.<ufunc>.at``) targeting them.
+    immutable outside the ``repro.graph`` package (``labeled_graph.py``
+    builds them, ``delta.py`` adopts them copy-on-write): no attribute
+    stores, no element stores, no ``setflags`` calls, no in-place ufuncs
+    (``out=`` / ``np.<ufunc>.at``) targeting them.
 ``REPRO002``
     Label masks are built only via :mod:`repro.graph.labelsets` helpers:
     no raw ``1 << label`` with a non-literal shift and no
@@ -40,6 +41,16 @@ those conventions as seven mechanical rules over the Python AST:
     CPU time (both already threaded through :mod:`repro.obs.trace` and
     :mod:`repro.engine.instrument`).  ``from time import time`` is flagged
     at the import.
+``REPRO008``
+    Graph mutations go through the delta API.  The version-lineage
+    attributes of :class:`~repro.graph.labeled_graph.EdgeLabeledGraph`
+    (``version`` / ``parent_fingerprint`` / ``applied_delta``) are written
+    only by :func:`repro.graph.delta.apply_delta` — outside ``repro.graph``
+    no attribute store, ``setattr`` or ``object.__setattr__`` may target
+    them.  Together with REPRO001 this makes the mutation surface exactly
+    ``GraphDelta`` + ``apply_delta`` / ``apply_edges``: hand-editing a
+    graph in place would silently desynchronize every fingerprint-keyed
+    cache (sessions, answer caches, the REPROIDX store).
 
 Suppression: a trailing ``# noqa: REPRO00X`` comment silences one rule on
 that line; a bare ``# noqa`` silences all of them.  Fixture files (and
@@ -66,7 +77,7 @@ __all__ = ["RULES", "LintFinding", "lint_file", "lint_source", "lint_paths", "ma
 
 #: Rule id -> one-line summary (the full rationale lives in docs/DEVELOPING.md).
 RULES: dict[str, str] = {
-    "REPRO001": "CSR arrays are immutable outside graph/labeled_graph.py",
+    "REPRO001": "CSR arrays are immutable outside repro.graph",
     "REPRO002": "label masks are built via repro.graph.labelsets helpers only",
     "REPRO003": "no unseeded randomness in core/, engine/ or perf/",
     "REPRO004": "no per-query scalar loops in engine/executors.py "
@@ -75,12 +86,16 @@ RULES: dict[str, str] = {
     "REPRO006": "no print in library code (use instrumentation/renderers)",
     "REPRO007": "no wall-clock time.time() in library code; use "
     "time.perf_counter() / time.process_time()",
+    "REPRO008": "graph version lineage is written only by the delta API "
+    "(repro.graph); mutate via apply_delta / apply_edges",
 }
 
 #: The immutable CSR attribute names of ``EdgeLabeledGraph``.
 _CSR_ATTRS = frozenset({"indptr", "neighbors", "edge_labels"})
-#: Module (package-relative posix path) that owns CSR array construction.
-_CSR_OWNER = "graph/labeled_graph.py"
+#: Version-lineage attributes only the delta API may write (REPRO008).
+_LINEAGE_ATTRS = frozenset({"version", "parent_fingerprint", "applied_delta"})
+#: Package subtree that owns graph storage and the delta/mutation API.
+_GRAPH_OWNER_PREFIX = "graph/"
 #: Module that owns bitmask construction.
 _MASK_OWNER = "graph/labelsets.py"
 #: Package subtrees whose determinism REPRO003 guards.
@@ -202,7 +217,8 @@ class _Visitor(ast.NodeVisitor):
         self._main_guard_depth = 0
         self._function_depth = 0
         # Rule applicability, resolved once per file.
-        self.check_csr = module != _CSR_OWNER
+        self.check_csr = not module.startswith(_GRAPH_OWNER_PREFIX)
+        self.check_lineage = not module.startswith(_GRAPH_OWNER_PREFIX)
         self.check_masks = module != _MASK_OWNER
         self.check_random = module.startswith(_DETERMINISTIC_PREFIXES)
         self.check_loops = module == "engine/executors.py"
@@ -253,31 +269,84 @@ class _Visitor(ast.NodeVisitor):
             self._flag(
                 hit,
                 "REPRO001",
-                "mutation of a CSR array outside graph/labeled_graph.py "
+                "mutation of a CSR array outside repro.graph "
                 "(EdgeLabeledGraph storage is immutable)",
             )
 
     def visit_Assign(self, node: ast.Assign) -> None:
-        if self.check_csr:
-            for target in node.targets:
+        for target in node.targets:
+            if self.check_csr:
                 self._check_csr_store(target)
+            self._check_lineage_store(target)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if self.check_csr and node.value is not None:
-            self._check_csr_store(node.target)
+        if node.value is not None:
+            if self.check_csr:
+                self._check_csr_store(node.target)
+            self._check_lineage_store(node.target)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         if self.check_csr:
             self._check_csr_store(node.target)
+        self._check_lineage_store(node.target)
         self.generic_visit(node)
 
     def visit_Delete(self, node: ast.Delete) -> None:
-        if self.check_csr:
-            for target in node.targets:
+        for target in node.targets:
+            if self.check_csr:
                 self._check_csr_store(target)
+            self._check_lineage_store(target)
         self.generic_visit(node)
+
+    # -- REPRO008: version lineage is the delta API's ------------------
+    def _check_lineage_store(self, target: ast.expr) -> None:
+        if not self.check_lineage:
+            return
+        hit = self._lineage_target(target)
+        if hit is not None:
+            self._flag(
+                hit,
+                "REPRO008",
+                f"write to graph lineage attribute '.{hit.attr}' outside "
+                "repro.graph; mutate via apply_delta / apply_edges",
+            )
+
+    @classmethod
+    def _lineage_target(cls, node: ast.expr) -> ast.Attribute | None:
+        if isinstance(node, ast.Attribute) and node.attr in _LINEAGE_ATTRS:
+            return node
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                hit = cls._lineage_target(element)
+                if hit is not None:
+                    return hit
+        if isinstance(node, ast.Starred):
+            return cls._lineage_target(node.value)
+        return None
+
+    def _check_lineage_setattr(self, node: ast.Call, func: ast.expr) -> None:
+        """``setattr(g, 'version', ...)`` / ``object.__setattr__`` bypasses."""
+        if not self.check_lineage:
+            return
+        is_setattr = isinstance(func, ast.Name) and func.id == "setattr"
+        is_dunder = isinstance(func, ast.Attribute) and func.attr == "__setattr__"
+        if not (is_setattr or is_dunder):
+            return
+        name_arg = node.args[1] if len(node.args) >= 2 else None
+        if (
+            isinstance(name_arg, ast.Constant)
+            and isinstance(name_arg.value, str)
+            and name_arg.value in _LINEAGE_ATTRS
+        ):
+            self._flag(
+                node,
+                "REPRO008",
+                f"setattr write to graph lineage attribute "
+                f"'{name_arg.value}' outside repro.graph; mutate via "
+                "apply_delta / apply_edges",
+            )
 
     # -- REPRO002: mask construction -----------------------------------
     def visit_BinOp(self, node: ast.BinOp) -> None:
@@ -309,7 +378,7 @@ class _Visitor(ast.NodeVisitor):
                 self._flag(
                     func,
                     "REPRO001",
-                    "setflags on a CSR array outside graph/labeled_graph.py",
+                    "setflags on a CSR array outside repro.graph",
                 )
             for keyword in node.keywords:
                 if keyword.arg == "out" and _csr_target(keyword.value) is not None:
@@ -346,6 +415,8 @@ class _Visitor(ast.NodeVisitor):
         # REPRO003: unseeded randomness.
         if self.check_random:
             self._check_random_call(node, func)
+        # REPRO008: lineage writes smuggled through setattr.
+        self._check_lineage_setattr(node, func)
         # REPRO004: per-query oracle.query inside a loop.
         if (
             self.check_loops

@@ -3,6 +3,14 @@
 from __future__ import annotations
 
 from .chromland import ChromLandIndex, local_search_selection
+from .dynamic import (
+    RepairStats,
+    assert_repair_matches_rebuild,
+    rebuild_reference,
+    repair_chromland,
+    repair_index,
+    repair_powcov,
+)
 from .exact import ExactDijkstraOracle, ExactOracle
 from .naive import NaivePowersetIndex
 from .nearest import constrained_nearest, rank_candidates
@@ -30,6 +38,12 @@ __all__ = [
     "DistanceOracle",
     "Query",
     "QueryAnswer",
+    "RepairStats",
+    "repair_index",
+    "repair_powcov",
+    "repair_chromland",
+    "rebuild_reference",
+    "assert_repair_matches_rebuild",
     "local_search_selection",
     "constrained_nearest",
     "rank_candidates",

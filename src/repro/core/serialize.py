@@ -34,6 +34,7 @@ import os
 
 import numpy as np
 
+from ..graph.fingerprint import graph_fingerprint
 from ..graph.labeled_graph import EdgeLabeledGraph
 from ..store.format import FormatError, is_store_file
 from .chromland import ChromLandIndex
@@ -56,62 +57,9 @@ __all__ = [
 NPZ_FORMAT_VERSION = 1
 
 
-_FNV_OFFSET = 1469598103934665603
-_FNV_PRIME = 1099511628211
-#: at most this many strided samples are folded in per CSR array.
-_FINGERPRINT_SAMPLES = 1024
-
-
-def _fold(acc: int, value: int) -> int:
-    return ((acc ^ (int(value) & ((1 << 64) - 1))) * _FNV_PRIME) % (1 << 63)
-
-
-def _fold_array(acc: int, array: np.ndarray) -> int:
-    """FNV-fold a strided content sample of ``array`` into ``acc``.
-
-    Up to :data:`_FINGERPRINT_SAMPLES` evenly spaced elements (always
-    including the first and last) are hashed individually, so two graphs
-    with identical summary counts but different adjacency or labeling
-    content fingerprint differently — a pure checksum-of-sums would let
-    permuted arrays collide.
-    """
-    n = len(array)
-    acc = _fold(acc, n)
-    if n == 0:
-        return acc
-    stride = max(1, n // _FINGERPRINT_SAMPLES)
-    sample = array[::stride]
-    for value in np.asarray(sample, dtype=np.int64).tolist():
-        acc = _fold(acc, value)
-    return _fold(acc, int(array[-1]))
-
-
-def graph_fingerprint(graph: EdgeLabeledGraph) -> np.int64:
-    """Content hash binding an index file to its graph.
-
-    Folds the summary counts *and* a strided FNV sample of the CSR arrays
-    (``indptr``, ``neighbors``, ``edge_labels``), so graphs that merely
-    share sizes — or permute edges/labels — are told apart.
-
-    Memoized per graph instance (the CSR arrays are immutable), so
-    repeated saves/loads against the same graph hash it once.
-    """
-    if graph._fingerprint is not None:
-        return graph._fingerprint
-    acc = _FNV_OFFSET
-    for value in (
-        graph.num_vertices,
-        graph.num_edges,
-        graph.num_labels,
-        int(graph.directed),
-        int(graph.indptr[-1]),
-    ):
-        acc = _fold(acc, value)
-    acc = _fold_array(acc, graph.indptr)
-    acc = _fold_array(acc, graph.neighbors)
-    acc = _fold_array(acc, graph.edge_labels)
-    graph._fingerprint = np.int64(acc)
-    return graph._fingerprint
+# ``graph_fingerprint`` moved down into :mod:`repro.graph.fingerprint` so
+# the delta layer can mint lineage fingerprints without a layering cycle;
+# it is re-imported above and stays part of this module's public API.
 
 
 def _entries_to_arrays(per_landmark: list[LandmarkSPMinimal]):

@@ -120,19 +120,56 @@ class QuerySession:
                 "graph (stored fingerprint does not match the bound graph)"
             )
 
-    def rebind(self, oracle: DistanceOracle) -> None:
+    def rebind(self, oracle: DistanceOracle, repair: bool = True) -> None:
         """Point this session at another oracle, keeping the answer cache.
 
         The plan cache is dropped (plans hold oracle-internal arrays), but
         answers survive: their keys carry the graph fingerprint, so entries
         from a different graph simply stop matching, and rebinding back to
         an oracle over the original graph makes them hits again.
+
+        When the new oracle's graph is the *direct child version* of the
+        currently bound graph (it carries ``applied_delta`` and its
+        ``parent_fingerprint`` matches), ``repair=True`` additionally
+        migrates every cached answer whose constraint mask avoids the
+        delta's touched labels: such a mask sees the identical
+        label-restricted subgraph on both versions, so the answer is
+        bit-identical on the new graph and is re-keyed instead of going
+        cold.  Answers whose mask intersects the touched labels keep their
+        old-fingerprint keys (they stop matching — the invalidate path).
+        ``repair=False`` forces the historical invalidate-everything
+        behavior.
         """
+        previous_fingerprint = self._fingerprint
         self.oracle = oracle
         self.executor = executor_for(oracle)
         self._fingerprint = self._oracle_fingerprint(oracle)
         self._check_stored_fingerprint(oracle)
         self._plans.clear()
+        if repair and self._fingerprint != previous_fingerprint:
+            self._migrate_answers(oracle, previous_fingerprint)
+
+    def _migrate_answers(
+        self, oracle: DistanceOracle, previous_fingerprint: int
+    ) -> None:
+        """Re-key still-valid cached answers across one graph version."""
+        graph = oracle.graph
+        delta = getattr(graph, "applied_delta", None)
+        parent = getattr(graph, "parent_fingerprint", None)
+        if delta is None or parent is None or int(parent) != previous_fingerprint:
+            return
+        touched = delta.touched_label_mask()
+        migrated = 0
+        for key in list(self._answers):
+            fingerprint, source, target, mask = key
+            if fingerprint != previous_fingerprint or mask & touched:
+                continue
+            value = self._answers.pop(key)
+            self._answers[(self._fingerprint, source, target, mask)] = value
+            migrated += 1
+        self.stats.count("rebind_answers_migrated", migrated)
+        if metrics_enabled():
+            _metrics_registry().counter("engine.rebind_migrated").inc(migrated)
 
     # ------------------------------------------------------------------
     # Caches

@@ -10,6 +10,7 @@ Usage::
     python -m repro.eval.cli fig6    --ks 10,20,30,40
     python -m repro.eval.cli scaling --ks 20
     python -m repro.eval.cli profile
+    python -m repro.eval.cli temporal --updates 20 --windows 6
     python -m repro.eval.cli all     --out results.txt --csv-dir results/
 
 Every command prints the regenerated table/figure (optionally teeing into
@@ -64,7 +65,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "what",
         choices=["table1", "table2", "table3", "table4", "fig6",
-                 "scaling", "profile", "all"],
+                 "scaling", "profile", "temporal", "all"],
     )
     parser.add_argument("--scale", type=float, default=0.5,
                         help="dataset scale factor (1.0 = default stand-in size)")
@@ -139,6 +140,15 @@ def main(argv: list[str] | None = None) -> int:
                         "+ tracemalloc, writing profile-<phase>.pstats/.txt "
                         "artifacts next to the results (--csv-dir if set, "
                         "else the working directory)")
+    parser.add_argument("--updates", type=int, default=20,
+                        help="edge mutations interleaved into the temporal "
+                        "command's mixed query/update stream (each absorbed "
+                        "by incremental index repair, never a rebuild)")
+    parser.add_argument("--windows", type=int, default=6,
+                        help="time windows for the temporal command's "
+                        "snapshot sweep (edges get synthetic validity "
+                        "intervals; one oracle is repaired forward across "
+                        "the sequence)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the output to this file")
     parser.add_argument("--csv-dir", type=str, default=None,
@@ -252,6 +262,20 @@ def main(argv: list[str] | None = None) -> int:
                                seed=args.seed)
         emit(render_scaling(points))
         export("scaling", points)
+    if args.what == "temporal":
+        from .temporal import render_temporal_report, temporal_report
+
+        if args.updates < 1:
+            parser.error("argument --updates: must be >= 1")
+        if args.windows < 2:
+            parser.error("argument --windows: must be >= 2")
+        rows = temporal_report(
+            scale=min(args.scale, 0.5), num_windows=args.windows,
+            num_updates=args.updates, k=max(3, args.k // 2),
+            num_queries=max(100, args.pairs), seed=args.seed,
+        )
+        emit(render_temporal_report(rows))
+        export("temporal", rows)
     if args.what == "profile":
         from ..graph.datasets import dataset_names, load_dataset
         from ..graph.stats import graph_profile

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from .builder import GraphBuilder
+from .delta import GraphDelta, apply_delta
+from .fingerprint import delta_fingerprint, graph_fingerprint
 from .labeled_graph import EdgeLabeledGraph
 from .labelsets import (
     LabelUniverse,
@@ -57,6 +59,10 @@ from .io import load_edge_list, load_npz, save_edge_list, save_npz
 __all__ = [
     "EdgeLabeledGraph",
     "GraphBuilder",
+    "GraphDelta",
+    "apply_delta",
+    "delta_fingerprint",
+    "graph_fingerprint",
     "LabelUniverse",
     "UNREACHABLE",
     "full_mask",

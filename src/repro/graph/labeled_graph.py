@@ -1,7 +1,7 @@
 """The edge-labeled graph substrate.
 
-``EdgeLabeledGraph`` is the immutable graph type every oracle and baseline in
-this package operates on.  It matches the paper's model (Section 2): an
+``EdgeLabeledGraph`` is the graph type every oracle and baseline in this
+package operates on.  It matches the paper's model (Section 2): an
 undirected, unweighted graph ``G = (V, E, L, l)`` where ``l`` assigns exactly
 one label to each edge.  Directed graphs are supported as well (the paper
 notes the extension is straightforward); weighted queries are handled by the
@@ -10,13 +10,24 @@ constrained Dijkstra in :mod:`repro.graph.traversal`.
 Storage is CSR (compressed sparse row): three numpy arrays ``indptr``,
 ``neighbors`` and ``edge_labels``.  For an undirected graph every edge is
 stored in both directions so that neighborhood iteration never branches.
+
+Each *instance* is immutable — its CSR arrays are never written after
+construction, so indexes, mapped stores and caches built against it stay
+valid forever.  Graphs still evolve: :meth:`EdgeLabeledGraph.apply_delta`
+/ :meth:`EdgeLabeledGraph.apply_edges` (see :mod:`repro.graph.delta`)
+return the *next version* as a new instance carrying ``version``,
+``parent_fingerprint`` and ``applied_delta`` lineage metadata.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .delta import GraphDelta
 
 from .labelsets import LabelUniverse, full_mask, mask_from_labels, np_label_bits
 
@@ -24,7 +35,7 @@ __all__ = ["EdgeLabeledGraph"]
 
 
 class EdgeLabeledGraph:
-    """Immutable edge-labeled graph in CSR form.
+    """Edge-labeled graph in CSR form (instances immutable, versions linked).
 
     Construct instances through :class:`repro.graph.builder.GraphBuilder` or
     the :meth:`from_edges` convenience constructor rather than by hand.
@@ -48,12 +59,16 @@ class EdgeLabeledGraph:
         "num_labels",
         "directed",
         "label_universe",
+        "version",
+        "parent_fingerprint",
+        "applied_delta",
         "_num_edges",
         "_incident_label_masks",
         "_label_filter_cache",
         "_label_csr",
         "_fingerprint",
         "_reversed",
+        "_neighbor_search",
     )
 
     def __init__(
@@ -90,9 +105,16 @@ class EdgeLabeledGraph:
         #: per-mask boolean label tables, filled lazily by ``label_filter``.
         self._label_filter_cache: dict[int, np.ndarray] = {}
         self._label_csr: tuple[np.ndarray, np.ndarray] | None = None
-        #: cached structural fingerprint, filled by ``graph_fingerprint``.
+        #: cached structural fingerprint, filled by ``graph_fingerprint``
+        #: (or preset with the lineage hash by ``apply_delta``).
         self._fingerprint: np.int64 | None = None
         self._reversed: EdgeLabeledGraph | None = None
+        #: per-slice target-sorted neighbor view for ``edge_label`` probes.
+        self._neighbor_search: tuple[np.ndarray, np.ndarray] | None = None
+        #: version metadata; ``apply_delta`` stamps these on its results.
+        self.version: int = 0
+        self.parent_fingerprint: np.int64 | None = None
+        self.applied_delta: GraphDelta | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -204,22 +226,85 @@ class EdgeLabeledGraph:
                 if self.directed or u < v:
                     yield u, v, int(self.edge_labels[i])
 
+    def _neighbor_search_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted_neighbors, order)``: each CSR slice sorted by target id.
+
+        ``sorted_neighbors[indptr[u]:indptr[u+1]]`` is ``neighbors_of(u)``
+        in ascending order and ``order`` maps positions in the sorted view
+        back to original arc indices.  Built lazily in one vectorized
+        ``O(arcs log arcs)`` pass; ``edge_label``/``has_edge`` then probe a
+        slice in ``O(log degree)`` instead of scanning it.
+        """
+        if self._neighbor_search is None:
+            arc_sources = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+            )
+            key = arc_sources * (self.num_vertices + 1) + self.neighbors
+            order = np.argsort(key, kind="stable")
+            self._neighbor_search = (self.neighbors[order], order)
+        return self._neighbor_search
+
     def edge_label(self, u: int, v: int) -> int | None:
         """Dense label id of edge ``(u, v)``, or ``None`` if absent.
 
         If parallel edges with different labels exist, the first stored one
-        is returned.
+        is returned.  Binary search over the target-sorted slice view
+        (``O(log degree)`` after a lazy one-off sort of all arcs).
         """
-        start, stop = self.indptr[u], self.indptr[u + 1]
-        block = self.neighbors[start:stop]
-        hits = np.nonzero(block == v)[0]
-        if len(hits) == 0:
+        start, stop = int(self.indptr[u]), int(self.indptr[u + 1])
+        if start == stop:
             return None
-        return int(self.edge_labels[start + hits[0]])
+        sorted_neighbors, order = self._neighbor_search_view()
+        block = sorted_neighbors[start:stop]
+        lo = int(np.searchsorted(block, v, side="left"))
+        hi = int(np.searchsorted(block, v, side="right"))
+        if lo == hi:
+            return None
+        # Parallel edges: the minimum original arc index preserves the
+        # documented "first stored" semantics of the old linear scan.
+        arc = int(order[start + lo : start + hi].min())
+        return int(self.edge_labels[arc])
 
     def has_edge(self, u: int, v: int) -> bool:
-        """True iff an arc ``u -> v`` exists."""
-        return self.edge_label(u, v) is not None
+        """True iff an arc ``u -> v`` exists (``O(log degree)``)."""
+        start, stop = int(self.indptr[u]), int(self.indptr[u + 1])
+        if start == stop:
+            return False
+        block = self._neighbor_search_view()[0][start:stop]
+        lo = int(np.searchsorted(block, v, side="left"))
+        return lo < stop - start and int(block[lo]) == v
+
+    # ------------------------------------------------------------------
+    # Versioned mutation
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> "EdgeLabeledGraph":
+        """Apply a :class:`~repro.graph.delta.GraphDelta`, returning the
+        next graph version (this instance is untouched; see
+        :func:`repro.graph.delta.apply_delta`)."""
+        from .delta import apply_delta
+
+        return apply_delta(self, delta)
+
+    def apply_edges(
+        self,
+        insertions: Iterable[tuple[int, int, int]] = (),
+        deletions: Iterable[tuple[int, int, int]] = (),
+        relabels: Iterable[tuple[int, int, int, int]] = (),
+    ) -> "EdgeLabeledGraph":
+        """Convenience wrapper: build a delta from the op lists and apply it.
+
+        ``insertions``/``deletions`` take ``(u, v, label)`` triples,
+        ``relabels`` takes ``(u, v, old_label, new_label)``.
+        """
+        from .delta import GraphDelta
+
+        return self.apply_delta(
+            GraphDelta(
+                insertions=tuple(insertions),
+                deletions=tuple(deletions),
+                relabels=tuple(relabels),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Label-oriented accessors
@@ -382,5 +467,7 @@ class EdgeLabeledGraph:
             and np.array_equal(self.edge_labels, other.edge_labels)
         )
 
-    def __hash__(self) -> int:  # graphs are mutable-free; hash by identity
+    def __hash__(self) -> int:
+        # Instances are never mutated in place (mutation mints a new
+        # version via ``apply_delta``), so identity hashing stays sound.
         return id(self)

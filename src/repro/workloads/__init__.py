@@ -4,9 +4,17 @@ from __future__ import annotations
 
 from .queries import LabeledQuery, Workload, generate_workload, random_label_set
 from .streams import (
+    SnapshotOracleSequence,
+    StreamReport,
+    TemporalEdge,
+    TemporalQuery,
     fixed_context_stream,
     locality_biased_stream,
+    mixed_update_stream,
+    run_stream_throughput,
+    run_temporal_queries,
     size_skewed_stream,
+    temporal_query_stream,
 )
 
 __all__ = [
@@ -17,4 +25,12 @@ __all__ = [
     "fixed_context_stream",
     "locality_biased_stream",
     "size_skewed_stream",
+    "StreamReport",
+    "run_stream_throughput",
+    "mixed_update_stream",
+    "TemporalEdge",
+    "TemporalQuery",
+    "SnapshotOracleSequence",
+    "temporal_query_stream",
+    "run_temporal_queries",
 ]

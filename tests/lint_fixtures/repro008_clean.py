@@ -1,0 +1,10 @@
+# lint-module: repro/graph/delta.py
+"""Fixture: the delta API owns the version-lineage attributes."""
+
+from __future__ import annotations
+
+
+def _version_child(graph: object, child: object, fingerprint: int) -> None:
+    child.version = graph.version + 1
+    child.parent_fingerprint = fingerprint
+    child.applied_delta = None

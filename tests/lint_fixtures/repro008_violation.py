@@ -1,0 +1,15 @@
+# lint-module: repro/core/serialize.py
+"""Fixture: every REPRO008 lineage-write form, outside the delta API."""
+
+from __future__ import annotations
+
+
+def _forge_version(graph: object, fingerprint: int) -> None:
+    graph.version = graph.version + 1
+    graph.parent_fingerprint = fingerprint
+    graph.applied_delta = None
+
+
+def _forge_via_setattr(graph: object, fingerprint: int) -> None:
+    setattr(graph, "version", 2)
+    object.__setattr__(graph, "parent_fingerprint", fingerprint)

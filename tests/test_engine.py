@@ -377,3 +377,92 @@ class TestCacheGraphIdentity:
                                       [0] * len(landmarks)).build())
         assert session.cache_info()["cached_plans"] == 0
         assert session.cache_info()["cached_answers"] > 0
+
+
+class TestRebindRepairAcrossMutations:
+    """``rebind(repair=True)`` vs ``rebind(repair=False)`` across a delta.
+
+    The repair path migrates cached answers whose mask avoids the delta's
+    touched labels; the invalidate path starts cold.  Both must serve the
+    exact same answers — migration is a cache optimization, never a
+    semantic change.
+    """
+
+    def _mutated(self, graph):
+        from repro.graph.delta import GraphDelta, apply_delta
+
+        present = set()
+        for u in range(graph.num_vertices):
+            for neighbor, label in zip(graph.neighbors_of(u), graph.labels_of(u)):
+                if u < int(neighbor):
+                    present.add((u, int(neighbor), int(label)))
+        u, v, label = min(e for e in present if e[2] == 0)
+        return apply_delta(graph, GraphDelta(deletions=((u, v, label),)))
+
+    def test_repair_and_invalidate_paths_agree(self, undirected, landmarks):
+        from repro.core.dynamic import repair_index
+
+        batch = mixed_batch(undirected, num_queries=80)
+        repaired_session = QuerySession(
+            PowCovIndex(undirected, landmarks).build(), cache_size=4096
+        )
+        invalidated_session = QuerySession(
+            PowCovIndex(undirected, landmarks).build(), cache_size=4096
+        )
+        assert repaired_session.run(batch) == invalidated_session.run(batch)
+
+        new_graph = self._mutated(undirected)
+        for session in (repaired_session, invalidated_session):
+            repair_index(session.oracle, new_graph)
+        repaired_session.rebind(repaired_session.oracle, repair=True)
+        invalidated_session.rebind(invalidated_session.oracle, repair=False)
+
+        reference = scalar_answers(repaired_session.oracle, batch)
+        assert repaired_session.run(batch) == reference
+        assert invalidated_session.run(batch) == reference
+        # The repair path actually migrated something...
+        migrated = repaired_session.stats.counters["rebind_answers_migrated"]
+        assert migrated > 0
+        # ...and the invalidate path migrated nothing.
+        assert "rebind_answers_migrated" not in (
+            invalidated_session.stats.counters
+        ) or invalidated_session.stats.counters["rebind_answers_migrated"] == 0
+
+    def test_migrated_answers_hit_without_recompute(self, undirected, landmarks):
+        from repro.core.dynamic import repair_index
+
+        index = PowCovIndex(undirected, landmarks).build()
+        session = QuerySession(index, cache_size=4096)
+        # Touched labels will be {0}; mask 0b1110 avoids it, 0b0001 doesn't.
+        avoiding = [(1, 7, 0b1110), (2, 9, 0b0110)]
+        intersecting = [(1, 7, 0b0001), (2, 9, 0b0011)]
+        session.run(avoiding + intersecting)
+
+        new_graph = self._mutated(undirected)
+        assert new_graph.applied_delta.touched_label_mask() == 0b0001
+        repair_index(index, new_graph)
+        session.rebind(index)
+
+        hits_before = session.stats.counters.get("cache_hits", 0)
+        assert session.run(avoiding) == scalar_answers(index, avoiding)
+        assert session.stats.counters["cache_hits"] == hits_before + len(avoiding)
+        # Intersecting masks went cold: re-answered, not served stale.
+        misses_before = session.stats.counters.get("cache_misses", 0)
+        assert session.run(intersecting) == scalar_answers(index, intersecting)
+        assert session.stats.counters["cache_misses"] == misses_before + len(
+            intersecting
+        )
+
+    def test_unrelated_rebind_migrates_nothing(self, undirected, landmarks):
+        # Rebinding to an oracle over an unrelated graph (no lineage) must
+        # fall back to plain invalidation.
+        other = labeled_erdos_renyi(40, 130, num_labels=4, seed=77)
+        session = QuerySession(
+            PowCovIndex(undirected, landmarks).build(), cache_size=4096
+        )
+        batch = mixed_batch(undirected, num_queries=40)
+        session.run(batch)
+        replacement = PowCovIndex(other, landmarks).build()
+        session.rebind(replacement, repair=True)
+        assert session.stats.counters.get("rebind_answers_migrated", 0) == 0
+        assert session.run(batch) == scalar_answers(replacement, batch)

@@ -26,6 +26,7 @@ VIOLATIONS = {
     "REPRO005": ("repro005_violation.py", 2),
     "REPRO006": ("repro006_violation.py", 1),
     "REPRO007": ("repro007_violation.py", 4),
+    "REPRO008": ("repro008_violation.py", 5),
 }
 
 CLEAN = {
@@ -36,6 +37,7 @@ CLEAN = {
     "REPRO005": "repro005_clean.py",
     "REPRO006": "repro006_clean.py",
     "REPRO007": "repro007_clean.py",
+    "REPRO008": "repro008_clean.py",
 }
 
 

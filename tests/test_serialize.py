@@ -30,7 +30,7 @@ class TestFingerprint:
     def test_memoized_per_instance(self, monkeypatch):
         # The CSR arrays are immutable, so the hash is computed once and
         # cached on the graph; a second call must not touch the arrays.
-        from repro.core import serialize
+        from repro.graph import fingerprint
 
         g = labeled_erdos_renyi(30, 80, num_labels=3, seed=4)
         first = graph_fingerprint(g)
@@ -39,7 +39,7 @@ class TestFingerprint:
         def boom(*args, **kwargs):  # pragma: no cover - must not run
             raise AssertionError("fingerprint was recomputed")
 
-        monkeypatch.setattr(serialize, "_fold_array", boom)
+        monkeypatch.setattr(fingerprint, "_fold_array", boom)
         assert graph_fingerprint(g) == first
 
     def test_distinguishes_graphs(self, graph):

@@ -458,3 +458,111 @@ class TestIndexStoreDirectory:
         loaded = store.load("chromland", graph, tag="c")
         queries = sample_queries(graph)
         assert loaded.batch_query(queries) == index.batch_query(queries)
+
+
+class TestIndexStoreCapacity:
+    """The LRU capacity bound and eviction counter."""
+
+    def _graphs(self, count):
+        return [
+            labeled_erdos_renyi(25, 60, num_labels=3, seed=100 + i)
+            for i in range(count)
+        ]
+
+    def test_capacity_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="capacity"):
+            IndexStore(tmp_path / "cache", capacity=0)
+        assert IndexStore(tmp_path / "cache", capacity=3).capacity == 3
+        assert "capacity=3" in repr(IndexStore(tmp_path / "cache", capacity=3))
+
+    def test_save_evicts_oldest_beyond_capacity(self, tmp_path):
+        import os
+        import time
+
+        store = IndexStore(tmp_path / "cache", capacity=2)
+        graphs = self._graphs(3)
+        paths = []
+        for g in graphs:
+            paths.append(store.save(PowCovIndex(g, [0]).build()))
+            time.sleep(0.02)  # distinct mtimes on coarse filesystems
+        assert store.evictions == 1
+        assert not os.path.exists(paths[0])  # oldest evicted
+        assert os.path.exists(paths[1]) and os.path.exists(paths[2])
+        assert store.load("powcov", graphs[0]) is None
+        assert store.load("powcov", graphs[1]) is not None
+
+    def test_load_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        store = IndexStore(tmp_path / "cache", capacity=2)
+        graphs = self._graphs(3)
+        first = store.save(PowCovIndex(graphs[0], [0]).build())
+        time.sleep(0.02)
+        second = store.save(PowCovIndex(graphs[1], [0]).build())
+        time.sleep(0.02)
+        # Touch the first index: it becomes the most recently used...
+        assert store.load("powcov", graphs[0]) is not None
+        time.sleep(0.02)
+        store.save(PowCovIndex(graphs[2], [0]).build())
+        # ...so the cap evicts the second instead.
+        assert os.path.exists(first)
+        assert not os.path.exists(second)
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        import os
+
+        store = IndexStore(tmp_path / "cache")  # capacity=None
+        paths = [
+            store.save(PowCovIndex(g, [0]).build()) for g in self._graphs(4)
+        ]
+        assert store.evictions == 0
+        assert all(os.path.exists(p) for p in paths)
+
+
+class TestIndexStoreLineage:
+    """The fingerprint-lineage manifest for versioned graphs."""
+
+    def test_lineage_chain_walks_child_to_ancestor(self, graph, tmp_path):
+        from repro.graph.delta import GraphDelta, apply_delta
+
+        store = IndexStore(tmp_path / "cache")
+        store.save(PowCovIndex(graph, [0]).build())
+        # An original (version 0) build records no lineage.
+        assert store.lineage_of(graph) == []
+
+        edge = next(
+            (u, int(v), int(l))
+            for u in range(graph.num_vertices)
+            for v, l in zip(graph.neighbors_of(u), graph.labels_of(u))
+            if u < int(v)
+        )
+        v1 = apply_delta(graph, GraphDelta(deletions=(edge,)))
+        v2 = apply_delta(v1, GraphDelta(insertions=(edge,)))
+        store.save(PowCovIndex(v1, [0]).build())
+        store.save(PowCovIndex(v2, [0]).build())
+
+        chain = store.lineage_of(v2)
+        assert [e["version"] for e in chain] == [2, 1]
+        assert chain[0]["parent"] == chain[1]["fingerprint"]
+        assert chain[0]["delta"] == "delta(+1 -0 ~0)"
+        assert chain[1]["delta"] == "delta(+0 -1 ~0)"
+        # The middle version's chain is just its own link.
+        assert len(store.lineage_of(v1)) == 1
+
+    def test_lineage_records_deduplicate(self, graph, tmp_path):
+        from repro.graph.delta import GraphDelta, apply_delta
+
+        store = IndexStore(tmp_path / "cache")
+        edge = next(
+            (u, int(v), int(l))
+            for u in range(graph.num_vertices)
+            for v, l in zip(graph.neighbors_of(u), graph.labels_of(u))
+            if u < int(v)
+        )
+        v1 = apply_delta(graph, GraphDelta(deletions=(edge,)))
+        store.save(PowCovIndex(v1, [0]).build())
+        store.save(PowCovIndex(v1, [0, 13]).build(), tag="k2")
+        with open(store.lineage_path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
