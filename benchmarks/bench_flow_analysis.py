@@ -1,0 +1,68 @@
+"""Benchmark + budget guard for the flow analyzer (``repro.analysis.flow``).
+
+The analyzer gates every commit (pre-commit hook, blocking CI job), so
+its latency is a product property: a cold full pass over ``src/repro``
+must stay interactive, and a warm cached pass must land well under the
+10 s budget documented in ``docs/ANALYSIS.md``. The non-benchmark test
+enforces the budget on every run; the ``pytest-benchmark`` entries
+record the trend.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import analyze_paths
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+#: Seconds allowed for one full pass (cold or warm) over src/repro.
+FLOW_BUDGET_S = 10.0
+
+
+def test_flow_pass_meets_budget(tmp_path):
+    cache = tmp_path / "flow-cache.json"
+
+    started = time.perf_counter()
+    cold = analyze_paths([SRC], cache_path=cache)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = analyze_paths([SRC], cache_path=cache)
+    warm_s = time.perf_counter() - started
+
+    # The cached pass must reproduce the cold findings exactly.
+    assert [(f.format(), fp) for f, fp in warm] == [
+        (f.format(), fp) for f, fp in cold
+    ]
+    print(
+        f"\nflow pass over src/repro: cold {cold_s:.2f}s, "
+        f"warm {warm_s:.2f}s (budget {FLOW_BUDGET_S:.0f}s)"
+    )
+    assert cold_s < FLOW_BUDGET_S, f"cold flow pass took {cold_s:.2f}s"
+    assert warm_s < FLOW_BUDGET_S, f"warm cached flow pass took {warm_s:.2f}s"
+
+
+@pytest.mark.benchmark(group="flow-analysis")
+def test_bench_flow_cold(benchmark):
+    def cold_pass():
+        return analyze_paths([SRC], cache_path=None)
+
+    results = benchmark(cold_pass)
+    assert isinstance(results, list)
+
+
+@pytest.mark.benchmark(group="flow-analysis")
+def test_bench_flow_warm(benchmark, tmp_path):
+    cache = tmp_path / "flow-cache.json"
+    analyze_paths([SRC], cache_path=cache)  # prime
+
+    def warm_pass():
+        return analyze_paths([SRC], cache_path=cache)
+
+    results = benchmark(warm_pass)
+    assert isinstance(results, list)

@@ -7,7 +7,11 @@ built by :mod:`repro.graph.labelsets`, hot paths must stay deterministic
 and vectorized.  This package machine-checks those conventions:
 
 * :mod:`repro.analysis.lint` — project-specific AST lint rules
-  (REPRO001–REPRO006) with a CLI (``python -m repro.analysis.lint``);
+  (REPRO000–REPRO008) with a CLI (``python -m repro.analysis lint``);
+* :mod:`repro.analysis.flow` — flow-sensitive abstract interpretation
+  (REPRO009–REPRO013): dtype/width tracking, mask/vertex/distance unit
+  domains, and shared-memory/memmap lifecycle checking, with baseline,
+  per-file cache and SARIF output (``python -m repro.analysis flow``);
 * :mod:`repro.analysis.audit` — runtime invariant auditors for the graph
   substrate and both paper indexes (``audit_graph`` / ``audit_powcov`` /
   ``audit_chromland``), exposed through ``--selfcheck`` on the eval CLI
@@ -44,16 +48,25 @@ __all__ = [
     "LintFinding",
     "lint_file",
     "lint_paths",
+    "FLOW_RULES",
+    "analyze_paths",
+    "analyze_source",
+    "build_cfg",
 ]
 
 _LINT_EXPORTS = ("RULES", "LintFinding", "lint_file", "lint_paths")
+_FLOW_EXPORTS = ("FLOW_RULES", "analyze_paths", "analyze_source", "build_cfg")
 
 
 def __getattr__(name: str) -> Any:
-    # The lint module is loaded lazily so that ``python -m
-    # repro.analysis.lint`` does not import it twice (runpy would warn).
+    # The lint/flow modules are loaded lazily so that ``python -m
+    # repro.analysis.lint`` does not import them twice (runpy would warn).
     if name in _LINT_EXPORTS:
         from . import lint
 
         return getattr(lint, name)
+    if name in _FLOW_EXPORTS:
+        from . import flow
+
+        return getattr(flow, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,8 +3,14 @@
 The generic linters (ruff, mypy) cannot see the package's *semantic*
 conventions: which arrays are immutable, which module owns bitmask
 construction, which loops are allowed to be scalar.  This module encodes
-those conventions as eight mechanical rules over the Python AST:
+those conventions as nine mechanical rules over the Python AST (the
+flow-sensitive rules REPRO009-REPRO013 share this catalog but live in
+:mod:`repro.analysis.flow`):
 
+``REPRO000``
+    No bare ``# noqa``: suppression comments must name the rule code(s)
+    they silence, so a new violation appearing on an already-waived line
+    still surfaces.
 ``REPRO001``
     CSR arrays (``indptr`` / ``neighbors`` / ``edge_labels``) are
     immutable outside the ``repro.graph`` package (``labeled_graph.py``
@@ -52,8 +58,10 @@ those conventions as eight mechanical rules over the Python AST:
     graph in place would silently desynchronize every fingerprint-keyed
     cache (sessions, answer caches, the REPROIDX store).
 
-Suppression: a trailing ``# noqa: REPRO00X`` comment silences one rule on
-that line; a bare ``# noqa`` silences all of them.  Fixture files (and
+Suppression: a trailing ``# noqa: REPRO00X`` comment silences the named
+rule(s) on that line.  A *bare* ``# noqa`` suppresses nothing and is itself
+a finding (``REPRO000``): blanket suppression is how a second, unrelated
+violation on the same line slips through review.  Fixture files (and
 tests) can pin the module identity the rules key on with a leading
 ``# lint-module: repro/<path>.py`` comment.
 
@@ -73,10 +81,23 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["RULES", "LintFinding", "lint_file", "lint_source", "lint_paths", "main"]
+__all__ = [
+    "RULES",
+    "AST_RULES",
+    "FLOW_RULE_IDS",
+    "LintFinding",
+    "lint_file",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
 
 #: Rule id -> one-line summary (the full rationale lives in docs/DEVELOPING.md).
+#: REPRO000-008 are single-pass AST rules checked here; REPRO009-013 are
+#: flow-sensitive and live in :mod:`repro.analysis.flow` (same catalog so
+#: ``--list-rules``, noqa codes and SARIF share one namespace).
 RULES: dict[str, str] = {
+    "REPRO000": "bare '# noqa' is forbidden; name the rule code(s) to suppress",
     "REPRO001": "CSR arrays are immutable outside repro.graph",
     "REPRO002": "label masks are built via repro.graph.labelsets helpers only",
     "REPRO003": "no unseeded randomness in core/, engine/ or perf/",
@@ -88,7 +109,25 @@ RULES: dict[str, str] = {
     "time.perf_counter() / time.process_time()",
     "REPRO008": "graph version lineage is written only by the delta API "
     "(repro.graph); mutate via apply_delta / apply_edges",
+    "REPRO009": "no silent dtype narrowing, shift overflow or cross-width "
+    "distance comparisons (flow-sensitive; repro.analysis.flow)",
+    "REPRO010": "no arithmetic mixing mask / vertex-id / distance / "
+    "landmark-index unit domains (flow-sensitive)",
+    "REPRO011": "call arguments carry the unit domain the parameter expects "
+    "(flow-sensitive)",
+    "REPRO012": "shared-memory handles follow the close/unlink lifecycle: "
+    "no use-after-close, no leak on any path (flow-sensitive)",
+    "REPRO013": "memmap/MappedTable handles are released and their "
+    "read-only views never written (flow-sensitive)",
 }
+
+#: The rules this module's single-pass AST visitor implements.
+AST_RULES = frozenset(
+    {"REPRO000", "REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005",
+     "REPRO006", "REPRO007", "REPRO008"}
+)
+#: The flow-sensitive rules implemented by :mod:`repro.analysis.flow`.
+FLOW_RULE_IDS = frozenset({"REPRO009", "REPRO010", "REPRO011", "REPRO012", "REPRO013"})
 
 #: The immutable CSR attribute names of ``EdgeLabeledGraph``.
 _CSR_ATTRS = frozenset({"indptr", "neighbors", "edge_labels"})
@@ -105,7 +144,12 @@ _ANNOTATED_PREFIXES = ("core/", "engine/")
 #: The one executors.py class allowed to loop per query.
 _SCALAR_FALLBACK_CLASS = "ScalarLoopExecutor"
 #: Modules where ``print`` is the job (CLI entry points).
-_PRINT_ALLOWED = ("eval/cli.py", "analysis/lint.py")
+_PRINT_ALLOWED = (
+    "eval/cli.py",
+    "analysis/lint.py",
+    "analysis/flow.py",
+    "analysis/__main__.py",
+)
 
 _LINT_MODULE_RE = re.compile(r"^#\s*lint-module:\s*(\S+)\s*$", re.MULTILINE)
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
@@ -147,9 +191,16 @@ def _module_key(path: Path, source: str) -> str:
     return path.name
 
 
-def _noqa_lines(source: str) -> dict[int, frozenset[str] | None]:
-    """Map line number -> suppressed rule ids (``None`` = all rules)."""
-    suppressed: dict[int, frozenset[str] | None] = {}
+def _scan_noqa(source: str) -> tuple[dict[int, frozenset[str]], dict[int, int]]:
+    """Scan noqa comments: (line -> named codes, bare-noqa line -> column).
+
+    A bare ``# noqa`` (no codes) suppresses *nothing* — it is returned
+    separately so :func:`lint_source` can flag it as REPRO000.  Blanket
+    suppression was removed because a line with one accepted violation
+    would silently absorb any new rule that later starts matching it.
+    """
+    suppressed: dict[int, frozenset[str]] = {}
+    bare: dict[int, int] = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
@@ -160,18 +211,21 @@ def _noqa_lines(source: str) -> dict[int, frozenset[str] | None]:
                 continue
             codes = match.group("codes")
             if codes is None:
-                suppressed[token.start[0]] = None
+                bare.setdefault(token.start[0], token.start[1] + 1)
             else:
                 ids = frozenset(
                     code.strip().upper() for code in codes.split(",") if code.strip()
                 )
                 previous = suppressed.get(token.start[0], frozenset())
-                if previous is None:
-                    continue
                 suppressed[token.start[0]] = previous | ids
     except tokenize.TokenError:  # pragma: no cover - ast.parse fails first
         pass
-    return suppressed
+    return suppressed, bare
+
+
+def _noqa_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> explicitly named suppressed rule ids."""
+    return _scan_noqa(source)[0]
 
 
 def _is_csr_attribute(node: ast.expr) -> bool:
@@ -592,14 +646,24 @@ def lint_source(
     tree = ast.parse(source, filename=str(path))
     visitor = _Visitor(module, str(path))
     visitor.visit(tree)
-    suppressed = _noqa_lines(source)
+    suppressed, bare = _scan_noqa(source)
+    for line, col in sorted(bare.items()):
+        visitor.findings.append(
+            LintFinding(
+                path=str(path),
+                line=line,
+                col=col,
+                rule="REPRO000",
+                message="bare '# noqa' suppresses nothing; name the rule "
+                "code(s), e.g. '# noqa: REPRO002'",
+            )
+        )
     selected = frozenset(select) if select is not None else None
     findings = []
     for finding in visitor.findings:
         if selected is not None and finding.rule not in selected:
             continue
-        rules = suppressed.get(finding.line, frozenset())
-        if rules is None or finding.rule in rules:
+        if finding.rule in suppressed.get(finding.line, frozenset()):
             continue
         findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
@@ -632,7 +696,8 @@ def lint_paths(
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.analysis.lint",
-        description="Project-specific AST lint rules (REPRO001-REPRO007).",
+        description="Project-specific AST lint rules (REPRO000-REPRO008); "
+        "the flow-sensitive rules run via 'python -m repro.analysis flow'.",
     )
     parser.add_argument(
         "paths",
@@ -653,7 +718,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.list_rules:
         for rule, summary in sorted(RULES.items()):
-            print(f"{rule}  {summary}")
+            marker = "" if rule in AST_RULES else "  [flow]"
+            print(f"{rule}  {summary}{marker}")
         return 0
 
     paths = args.paths or [Path("src/repro")]
@@ -664,6 +730,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         unknown = [rule for rule in args.select if rule not in RULES]
         if unknown:
             parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+        flow_only = [rule for rule in args.select if rule in FLOW_RULE_IDS]
+        if flow_only:
+            parser.error(
+                f"{', '.join(flow_only)} are flow-sensitive rules; run "
+                "'python -m repro.analysis flow' instead"
+            )
 
     findings = lint_paths(paths, select=args.select)
     for finding in findings:

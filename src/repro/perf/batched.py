@@ -195,10 +195,14 @@ def batched_constrained_bfs(
     # ``row_ids[c]`` maps the compacted row slot ``c`` back to its global
     # row in ``dist``; frontier bookkeeping runs in compacted space, and
     # while no row has died yet (``identity``) the indirection is skipped.
-    row_ids = rows64.astype(idx)
+    # The ``astype(idx)`` casts below are guarded narrowings: ``idx`` is
+    # int32 only when ``num_sources * n < 2**31``, so every row id, vertex
+    # id and flat index provably fits.  REPRO009 cannot see the guard
+    # (the dtype joins to int32|int64 after the branch), hence the noqas.
+    row_ids = rows64.astype(idx)  # noqa: REPRO009
     identity = True
     frontier_rows = row_ids
-    frontier_vertices = source_arr.astype(idx)
+    frontier_vertices = source_arr.astype(idx)  # noqa: REPRO009
     # Scatter-stamp dedup scratch: ``claim[flat]`` holds the stamp of the
     # last arc that reached that (row, vertex) pair; an arc whose stamp
     # survives the read-back is the unique winner for its pair.  One
@@ -322,7 +326,11 @@ def batched_constrained_bfs(
             if per_source:
                 row_nlab = row_nlab[live]
                 lab_pad = lab_pad[live]
-            arc_rows = np.searchsorted(live, arc_rows).astype(idx, copy=False)
+            # Guarded narrowing: searchsorted returns positions < live.size
+            # <= num_sources, which fits ``idx`` by the 2**31 guard above.
+            arc_rows = np.searchsorted(live, arc_rows).astype(  # noqa: REPRO009
+                idx, copy=False
+            )
         frontier_rows = arc_rows
         frontier_vertices = targets
     return dist

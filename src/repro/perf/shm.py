@@ -115,9 +115,17 @@ def _export_array(
     # SharedMemory rejects size 0; keep one byte for empty arrays and record
     # the true shape in the spec.
     block = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
-    view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
-    view[...] = array
-    return block, ArraySpec(block.name, tuple(array.shape), array.dtype.str)
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        spec = ArraySpec(block.name, tuple(array.shape), array.dtype.str)
+    except Exception:
+        # The segment exists in the OS already; without this it would
+        # outlive the failed export until process exit (REPRO012).
+        block.close()
+        block.unlink()
+        raise
+    return block, spec
 
 
 def _attach_array(
@@ -143,7 +151,13 @@ def _attach_array(
         # already registered, so the extra registration is a harmless no-op
         # and the parent's unlink() still deregisters exactly once.
         block = shared_memory.SharedMemory(name=spec.block_name)
-    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=block.buf)
+    try:
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=block.buf)
+    except Exception:
+        # Attach-side handle: close our mapping but never unlink — the
+        # segment belongs to the creating process.
+        block.close()
+        raise
     return block, view
 
 

@@ -65,7 +65,9 @@ class MappedTable:
 
     def lookup_one(self, landmark_index: int, vertex: int, label_mask: int) -> float:
         """Exact ``d_C(x, u)``: searchsorted slice + first-subset scan."""
-        key = landmark_index * self.num_vertices + vertex
+        # Deliberate domain mix: the probe key *packs* (landmark, vertex)
+        # into one int64, mirroring how the table's key column was built.
+        key = landmark_index * self.num_vertices + vertex  # noqa: REPRO010
         lo = int(np.searchsorted(self.key, key, side="left"))
         hi = int(np.searchsorted(self.key, key, side="right"))
         masks = self.mask[lo:hi]

@@ -1,0 +1,8 @@
+# lint-module: repro/core/util.py
+"""Fixture: suppression with explicit rule codes is legal."""
+
+from __future__ import annotations
+
+
+def _mask_of(label: int) -> int:
+    return 1 << label  # noqa: REPRO002

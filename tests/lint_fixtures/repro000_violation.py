@@ -1,0 +1,7 @@
+# lint-module: repro/core/util.py
+"""Fixture: bare ``# noqa`` comments are findings in their own right."""
+
+from __future__ import annotations
+
+VALUE = 1  # noqa
+OTHER = 2  # noqa

@@ -1,0 +1,32 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: widening casts, in-range shifts, same-width compares pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.traversal import constrained_bfs
+
+
+def _widening_cast() -> "np.ndarray":
+    narrow = np.zeros(8, dtype=np.int32)
+    return narrow.astype(np.int64)  # widening is always safe
+
+
+def _bounded_shift(num_rows: int) -> "np.ndarray":
+    # The bit-parallel MS-BFS idiom: at most 64 lanes per chunk, so the
+    # shift count interval is [0, 63] — inside a 64-bit operand.
+    chunk = min(64, num_rows)
+    return np.uint64(1) << np.arange(chunk, dtype=np.uint64)
+
+
+def _same_width_compare(graph: object, source: int, mask: int) -> "np.ndarray":
+    near = constrained_bfs(graph, source, mask)
+    far = constrained_bfs(graph, source, mask)
+    return near == far
+
+
+def _same_width_store() -> "np.ndarray":
+    slots = np.zeros(4, dtype=np.int64)
+    slots[0] = np.int64(3)
+    return slots

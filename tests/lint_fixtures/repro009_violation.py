@@ -1,0 +1,33 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: silent dtype narrowing, shift overflow, cross-width compare."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.traversal import constrained_bfs
+
+
+def _narrowing_cast(rows: "np.ndarray") -> "np.ndarray":
+    wide = np.zeros(8, dtype=np.int64)
+    return wide.astype(np.int32)  # line 13: int64 -> int32
+
+
+def _shift_overflow() -> "np.ndarray":
+    lanes = np.int32(1)
+    out = np.zeros(70, dtype=np.int64)
+    for k in range(70):
+        out[k] = lanes << k  # line 20: k reaches 69 >= 32
+    return out
+
+
+def _cross_width_compare(graph: object, source: int, mask: int) -> "np.ndarray":
+    near = constrained_bfs(graph, source, mask)
+    far = near.astype(np.int64)
+    return near == far  # line 27: int32 vs int64 distance arrays
+
+
+def _store_narrowing(level: "np.ndarray") -> "np.ndarray":
+    slots = np.zeros(4, dtype=np.int32)
+    slots[0] = np.int64(1) + np.int64(2)  # line 32: int64 into int32 cells
+    return slots

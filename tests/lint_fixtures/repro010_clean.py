@@ -1,0 +1,20 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: same-domain algebra and unit-free scalars pass."""
+
+from __future__ import annotations
+
+from repro.graph.labelsets import full_mask, label_bit
+
+
+def _mask_algebra(label: int, num_labels: int) -> int:
+    mask = label_bit(label)
+    universe = full_mask(num_labels)
+    return (mask | universe) & universe  # mask op mask: one domain
+
+
+def _distance_offsets(distances: int) -> int:
+    return distances + 1  # unit-free literal: no mixing
+
+
+def _vertex_window(source: int, target: int) -> bool:
+    return source <= target  # vertex vs vertex: one domain

@@ -1,0 +1,15 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: arithmetic and comparisons mixing unit domains."""
+
+from __future__ import annotations
+
+from repro.graph.labelsets import label_bit
+
+
+def _mask_plus_vertex(source: int, label: int) -> int:
+    mask = label_bit(label)
+    return mask + source  # line 11: mask + vertex-id
+
+
+def _distance_vs_vertex(distances: "object", target: int) -> bool:
+    return distances == target  # line 15: distance vs vertex-id

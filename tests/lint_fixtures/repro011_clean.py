@@ -1,0 +1,18 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: arguments match the domains their parameters expect."""
+
+from __future__ import annotations
+
+from repro.graph.labelsets import label_bit
+from repro.graph.traversal import constrained_bfs
+
+
+def _proper_call(graph: object, source: int, label: int) -> "object":
+    mask = label_bit(label)
+    return constrained_bfs(graph, source, mask=mask)
+
+
+def _unclassified_args(graph: object, start: int, bits: int) -> "object":
+    # Unknown-domain values are never findings: the check only fires on a
+    # proven contradiction, not on missing information.
+    return constrained_bfs(graph, start, bits)

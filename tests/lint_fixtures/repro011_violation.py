@@ -1,0 +1,16 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: call arguments carrying the wrong unit domain."""
+
+from __future__ import annotations
+
+from repro.graph.labelsets import label_bit
+from repro.graph.traversal import constrained_bfs
+
+
+def _mask_as_source(graph: object, label: int) -> "object":
+    mask = label_bit(label)
+    return constrained_bfs(graph, mask)  # line 12: mask bound to 'source'
+
+
+def _vertex_as_mask(graph: object, source: int, target: int) -> "object":
+    return constrained_bfs(graph, source, mask=target)  # line 16: keyword

@@ -1,0 +1,26 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: disciplined shared-memory lifecycles pass."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+
+def _close_then_unlink(nbytes: int) -> int:
+    block = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        size = block.size
+    finally:
+        block.close()
+        block.unlink()
+    return size
+
+
+def _escaped_to_caller(nbytes: int) -> "object":
+    # Returning the handle transfers cleanup responsibility: no leak.
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def _context_managed(nbytes: int) -> int:
+    with shared_memory.SharedMemory(create=True, size=nbytes) as block:
+        return block.size

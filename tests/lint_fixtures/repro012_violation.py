@@ -1,0 +1,24 @@
+# lint-module: repro/perf/scratch.py
+"""Fixture: shared-memory lifecycle violations."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+
+def _leaked(nbytes: int) -> bytes:
+    block = shared_memory.SharedMemory(create=True, size=nbytes)  # line 10
+    return bytes(block.buf[:4])  # handle dropped: never closed/unlinked
+
+
+def _use_after_close(nbytes: int) -> "object":
+    block = shared_memory.SharedMemory(create=True, size=nbytes)
+    block.close()
+    block.unlink()
+    return block.buf  # line 18: the mapping is gone
+
+
+def _unlink_before_close(nbytes: int) -> None:
+    block = shared_memory.SharedMemory(create=True, size=nbytes)
+    block.unlink()  # line 23: segment destroyed while still mapped
+    block.close()

@@ -12,13 +12,23 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.lint import RULES, LintFinding, lint_file, lint_paths, main
+from repro.analysis.lint import (
+    AST_RULES,
+    FLOW_RULE_IDS,
+    RULES,
+    LintFinding,
+    lint_file,
+    lint_paths,
+    main,
+)
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 #: rule id -> (violation fixture, minimum expected findings of that rule)
+#: The flow rules (REPRO009-013) have their own corpus in test_flow.py.
 VIOLATIONS = {
+    "REPRO000": ("repro000_violation.py", 2),
     "REPRO001": ("repro001_violation.py", 3),
     "REPRO002": ("repro002_violation.py", 2),
     "REPRO003": ("repro003_violation.py", 4),
@@ -30,6 +40,7 @@ VIOLATIONS = {
 }
 
 CLEAN = {
+    "REPRO000": "repro000_clean.py",
     "REPRO001": "repro001_clean.py",
     "REPRO002": "repro002_clean.py",
     "REPRO003": "repro003_clean.py",
@@ -41,7 +52,15 @@ CLEAN = {
 }
 
 
-@pytest.mark.parametrize("rule", sorted(RULES))
+def test_catalog_partitions_cleanly():
+    # Every cataloged rule is either an AST rule (checked here) or a flow
+    # rule (checked by repro.analysis.flow / test_flow.py) — never both.
+    assert AST_RULES | FLOW_RULE_IDS == set(RULES)
+    assert not (AST_RULES & FLOW_RULE_IDS)
+    assert sorted(AST_RULES) == sorted(VIOLATIONS) == sorted(CLEAN)
+
+
+@pytest.mark.parametrize("rule", sorted(VIOLATIONS))
 def test_rule_flags_violation_fixture(rule):
     name, expected = VIOLATIONS[rule]
     findings = lint_file(FIXTURES / name)
@@ -51,7 +70,7 @@ def test_rule_flags_violation_fixture(rule):
     assert {f.rule for f in findings} == {rule}
 
 
-@pytest.mark.parametrize("rule", sorted(RULES))
+@pytest.mark.parametrize("rule", sorted(CLEAN))
 def test_rule_passes_clean_fixture(rule):
     findings = lint_file(FIXTURES / CLEAN[rule])
     assert findings == [], [f.format() for f in findings]
@@ -79,6 +98,19 @@ def test_select_filters_rules():
 
 def test_noqa_suppresses_named_rule():
     assert lint_file(FIXTURES / "noqa_clean.py") == []
+
+
+def test_bare_noqa_no_longer_suppresses(tmp_path):
+    # The old blanket-suppression behavior is gone: the underlying rule
+    # still fires AND the bare noqa itself is a REPRO000 finding.
+    path = tmp_path / "scratch.py"
+    path.write_text("mask = 1 << label  # noqa\n", encoding="utf-8")
+    assert {f.rule for f in lint_file(path)} == {"REPRO000", "REPRO002"}
+
+
+def test_cli_rejects_flow_rule_select():
+    with pytest.raises(SystemExit):
+        main([str(FIXTURES), "--select", "REPRO009"])
 
 
 def test_lint_module_pin_controls_identity(tmp_path):
