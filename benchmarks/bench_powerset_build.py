@@ -71,7 +71,8 @@ def _peak_mb(fn):
     return peak / 1e6
 
 
-def _compare(benchmark, graph, min_speedup=None):
+def _compare(benchmark, graph, kernel="numpy", min_speedup=None):
+    benchmark.extra_info["kernel"] = kernel
     scalar, scalar_seconds = _timed(
         lambda: traverse_powerset(graph, LANDMARK, **FLAGS)
     )
@@ -105,24 +106,24 @@ def _compare(benchmark, graph, min_speedup=None):
     )
 
 
-def test_wave_vs_scalar_biogrid(benchmark, biogrid):
+def test_wave_vs_scalar_biogrid(benchmark, biogrid, bench_kernel):
     """Hard >= 2x bar on the densest stand-in (widest measured headroom)."""
-    _compare(benchmark, biogrid, min_speedup=2.0)
+    _compare(benchmark, biogrid, kernel=bench_kernel, min_speedup=2.0)
 
 
-def test_wave_vs_scalar_synthetic_l8(benchmark, synthetic_l8):
+def test_wave_vs_scalar_synthetic_l8(benchmark, synthetic_l8, bench_kernel):
     """Hard >= 2x bar on the |L|=8 synthetic (256-mask powerset)."""
-    _compare(benchmark, synthetic_l8, min_speedup=2.0)
+    _compare(benchmark, synthetic_l8, kernel=bench_kernel, min_speedup=2.0)
 
 
-def test_wave_vs_scalar_dblp(benchmark, dblp):
+def test_wave_vs_scalar_dblp(benchmark, dblp, bench_kernel):
     """Trajectory row for dblp-sim; speedup recorded, not enforced."""
-    _compare(benchmark, dblp)
+    _compare(benchmark, dblp, kernel=bench_kernel)
 
 
-def test_wave_vs_scalar_synthetic_l6(benchmark, synthetic_l6):
+def test_wave_vs_scalar_synthetic_l6(benchmark, synthetic_l6, bench_kernel):
     """Trajectory row for the ablation graph; recorded, not enforced."""
-    _compare(benchmark, synthetic_l6)
+    _compare(benchmark, synthetic_l6, kernel=bench_kernel)
 
 
 def test_wave_matches_brute_force():

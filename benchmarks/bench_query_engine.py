@@ -54,7 +54,9 @@ def _timed(fn, rounds=3):
     return result, best
 
 
-def _scalar_vs_engine(benchmark, oracle, stream, min_batch_speedup=None):
+def _scalar_vs_engine(benchmark, oracle, stream, kernel="numpy",
+                      min_batch_speedup=None):
+    benchmark.extra_info["kernel"] = kernel
     expected, scalar_seconds = _timed(
         lambda: [oracle.query(s, t, m) for s, t, m in stream]
     )
@@ -81,24 +83,28 @@ def _scalar_vs_engine(benchmark, oracle, stream, min_batch_speedup=None):
                        rounds=3, iterations=1)
 
 
-def test_powcov_scalar_vs_batch_vs_cached(benchmark, biogrid, biogrid_powcov):
+def test_powcov_scalar_vs_batch_vs_cached(benchmark, biogrid, biogrid_powcov,
+                                          bench_kernel):
     stream = repeated_mask_stream(biogrid)
     benchmark.extra_info["k"] = BENCH_K
     # The >= 2x bound is the acceptance bar for the engine on its target
     # workload shape (repeated masks); measured ~5x on an idle laptop.
-    _scalar_vs_engine(benchmark, biogrid_powcov, stream, min_batch_speedup=2.0)
-
-
-def test_chromland_scalar_vs_batch_vs_cached(benchmark, biogrid,
-                                             biogrid_chromland):
-    stream = repeated_mask_stream(biogrid)
-    benchmark.extra_info["k"] = BENCH_K
-    _scalar_vs_engine(benchmark, biogrid_chromland, stream,
+    _scalar_vs_engine(benchmark, biogrid_powcov, stream, kernel=bench_kernel,
                       min_batch_speedup=2.0)
 
 
-def test_session_stream_throughput(benchmark, biogrid, biogrid_powcov):
+def test_chromland_scalar_vs_batch_vs_cached(benchmark, biogrid,
+                                             biogrid_chromland, bench_kernel):
+    stream = repeated_mask_stream(biogrid)
+    benchmark.extra_info["k"] = BENCH_K
+    _scalar_vs_engine(benchmark, biogrid_chromland, stream,
+                      kernel=bench_kernel, min_batch_speedup=2.0)
+
+
+def test_session_stream_throughput(benchmark, biogrid, biogrid_powcov,
+                                   bench_kernel):
     """The streams-layer helper end to end: cold run, then warm replay."""
+    benchmark.extra_info["kernel"] = bench_kernel
     stream = repeated_mask_stream(biogrid)
     session = QuerySession(biogrid_powcov, cache_size=2 * len(stream))
     _, cold = run_stream_throughput(biogrid_powcov, stream, session=session)

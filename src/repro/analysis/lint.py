@@ -3,7 +3,7 @@
 The generic linters (ruff, mypy) cannot see the package's *semantic*
 conventions: which arrays are immutable, which module owns bitmask
 construction, which loops are allowed to be scalar.  This module encodes
-those conventions as nine mechanical rules over the Python AST (the
+those conventions as ten mechanical rules over the Python AST (the
 flow-sensitive rules REPRO009-REPRO013 share this catalog but live in
 :mod:`repro.analysis.flow`):
 
@@ -57,6 +57,13 @@ flow-sensitive rules REPRO009-REPRO013 share this catalog but live in
     ``GraphDelta`` + ``apply_delta`` / ``apply_edges``: hand-editing a
     graph in place would silently desynchronize every fingerprint-keyed
     cache (sessions, answer caches, the REPROIDX store).
+``REPRO014``
+    The private kernel backends (``repro.kernels._numpy`` /
+    ``._numba`` / ``._cext``) are imported only inside ``repro.kernels``
+    itself.  Everyone else goes through :func:`repro.kernels.resolve_kernel`
+    — a direct ``import repro.kernels._numba`` bypasses the memoized
+    availability probe and crashes the process when the optional
+    toolchain is absent instead of falling back to numpy.
 
 Suppression: a trailing ``# noqa: REPRO00X`` comment silences the named
 rule(s) on that line.  A *bare* ``# noqa`` suppresses nothing and is itself
@@ -119,12 +126,14 @@ RULES: dict[str, str] = {
     "no use-after-close, no leak on any path (flow-sensitive)",
     "REPRO013": "memmap/MappedTable handles are released and their "
     "read-only views never written (flow-sensitive)",
+    "REPRO014": "private repro.kernels backends are imported only inside "
+    "repro.kernels; go through resolve_kernel",
 }
 
 #: The rules this module's single-pass AST visitor implements.
 AST_RULES = frozenset(
     {"REPRO000", "REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005",
-     "REPRO006", "REPRO007", "REPRO008"}
+     "REPRO006", "REPRO007", "REPRO008", "REPRO014"}
 )
 #: The flow-sensitive rules implemented by :mod:`repro.analysis.flow`.
 FLOW_RULE_IDS = frozenset({"REPRO009", "REPRO010", "REPRO011", "REPRO012", "REPRO013"})
@@ -150,6 +159,12 @@ _PRINT_ALLOWED = (
     "analysis/flow.py",
     "analysis/__main__.py",
 )
+#: Package subtree that owns the private kernel backends (REPRO014).
+_KERNEL_OWNER_PREFIX = "kernels/"
+#: A dotted module path reaching into a private kernel backend, in both
+#: absolute (``repro.kernels._numba``) and relative (``..kernels._cext``)
+#: spellings.
+_KERNEL_PRIVATE_RE = re.compile(r"(?:^|\.)kernels\._\w+")
 
 _LINT_MODULE_RE = re.compile(r"^#\s*lint-module:\s*(\S+)\s*$", re.MULTILINE)
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
@@ -278,6 +293,7 @@ class _Visitor(ast.NodeVisitor):
         self.check_loops = module == "engine/executors.py"
         self.check_annotations = module.startswith(_ANNOTATED_PREFIXES)
         self.check_print = module not in _PRINT_ALLOWED
+        self.check_kernel_imports = not module.startswith(_KERNEL_OWNER_PREFIX)
 
     # -- plumbing ------------------------------------------------------
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
@@ -514,7 +530,20 @@ class _Visitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
-    # -- REPRO007: importing the wall clock directly -------------------
+    # -- REPRO007 / REPRO014: import-site rules ------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.check_kernel_imports:
+            for alias in node.names:
+                if _KERNEL_PRIVATE_RE.search(alias.name):
+                    self._flag(
+                        node,
+                        "REPRO014",
+                        f"direct import of private kernel backend "
+                        f"'{alias.name}'; resolve backends via "
+                        "repro.kernels.resolve_kernel",
+                    )
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "time":
             for alias in node.names:
@@ -525,6 +554,27 @@ class _Visitor(ast.NodeVisitor):
                         "'from time import time' imports the wall clock; "
                         "use time.perf_counter() / time.process_time()",
                     )
+        if self.check_kernel_imports and node.module is not None:
+            if _KERNEL_PRIVATE_RE.search(node.module):
+                self._flag(
+                    node,
+                    "REPRO014",
+                    f"direct import from private kernel backend "
+                    f"'{node.module}'; resolve backends via "
+                    "repro.kernels.resolve_kernel",
+                )
+            elif node.module == "repro.kernels" or node.module.endswith(
+                ".kernels"
+            ) or (node.level > 0 and node.module == "kernels"):
+                for alias in node.names:
+                    if alias.name.startswith("_"):
+                        self._flag(
+                            node,
+                            "REPRO014",
+                            f"import of private kernel module "
+                            f"'{alias.name}' from {node.module}; resolve "
+                            "backends via repro.kernels.resolve_kernel",
+                        )
         self.generic_visit(node)
 
     def _check_random_call(self, node: ast.Call, func: ast.expr) -> None:

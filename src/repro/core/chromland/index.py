@@ -23,6 +23,7 @@ import numpy as np
 from ...graph.labeled_graph import EdgeLabeledGraph
 from ...graph.labelsets import label_bit, np_label_bits
 from ...graph.traversal import UNREACHABLE
+from ...kernels import kernel_name
 from ...obs.trace import span
 from ...perf.batched import batched_constrained_bfs
 from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
@@ -143,7 +144,7 @@ class ChromLandIndex(DistanceOracle):
                 jobs.append((0, x, mask, True))
                 unpackers.append(("bi", i, other_color))
         with span(
-            "chromland.build", backend=config.backend
+            "chromland.build", backend=config.backend, kernel=kernel_name()
         ) as build_span:
             build_span.count("landmarks", k)
             build_span.count("colors", len(color_values))
@@ -152,7 +153,12 @@ class ChromLandIndex(DistanceOracle):
                 _chromland_chunk_task,
                 jobs,
                 graphs=graphs,
-                extra={"landmarks": np.asarray(self.landmarks, dtype=np.int64)},
+                # The kernel resolves to its concrete backend name in the
+                # parent: workers don't inherit ``set_default_kernel``.
+                extra={
+                    "landmarks": np.asarray(self.landmarks, dtype=np.int64),
+                    "kernel": kernel_name(),
+                },
                 config=config,
             )
         for what, row in zip(unpackers, results):
@@ -240,6 +246,7 @@ def _chromland_chunk_task(
     level so the process backend can ship it to workers by reference.
     """
     landmarks = extra["landmarks"]
+    kernel = extra.get("kernel")
     by_graph: dict[int, list[int]] = {}
     for position, (graph_index, _source, _mask, _landmarks_only) in enumerate(items):
         by_graph.setdefault(graph_index, []).append(position)
@@ -247,7 +254,9 @@ def _chromland_chunk_task(
     for graph_index, positions in by_graph.items():
         sources = [items[p][1] for p in positions]
         masks = [items[p][2] for p in positions]
-        dist = batched_constrained_bfs(graphs[graph_index], sources, masks=masks)
+        dist = batched_constrained_bfs(
+            graphs[graph_index], sources, masks=masks, kernel=kernel
+        )
         for row, p in enumerate(positions):
             full_row = dist[row]
             results[p] = full_row[landmarks] if items[p][3] else full_row

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...graph.traversal import UNREACHABLE
+from ...kernels import KernelBackend, resolve_kernel
 
 __all__ = [
     "simple_triangle_distance",
@@ -128,12 +129,22 @@ def prepare_auxiliary(
 
 
 def auxiliary_distance_from_plan(
-    plan: AuxiliaryPlan, ds: np.ndarray, dt: np.ndarray
+    plan: AuxiliaryPlan,
+    ds: np.ndarray,
+    dt: np.ndarray,
+    kernel: "str | KernelBackend | None" = None,
 ) -> float:
     """Theorem 5 evaluation given a prepared plan and endpoint legs.
 
     ``ds`` / ``dt`` are the source/target legs over ``plan.usable`` with
-    ``inf`` for unreachable (i.e. already sentinel-converted).
+    ``inf`` for unreachable (i.e. already sentinel-converted).  The
+    O(k^2) Dijkstra from the virtual source node — initialize landmark
+    tentative distances with the s—x edges, repeatedly settle the nearest
+    landmark, relax through its bi-chromatic row, keep the running best
+    completion through the t—x edges — runs on the selected
+    :mod:`repro.kernels` backend (``None`` = process default).  Compiled
+    backends replay the numpy path's IEEE operation order, so the result
+    is bit-identical regardless of ``kernel``.
     """
     k = len(plan.usable)
     if k == 0:
@@ -143,24 +154,4 @@ def auxiliary_distance_from_plan(
     best_single = float((ds + dt).min())
     if plan.weights is None:
         return best_single
-
-    # O(k^2) Dijkstra from the virtual source node: initialize landmark
-    # tentative distances with the s—x edges, repeatedly settle the
-    # nearest landmark, relax through its bi-chromatic row, and keep the
-    # running best completion through the t—x edges.
-    weights = plan.weights
-    dist = ds.copy()
-    settled = np.zeros(k, dtype=bool)
-    best = best_single
-    for _ in range(k):
-        dist_masked = np.where(settled, _INF, dist)
-        i = int(dist_masked.argmin())
-        di = dist_masked[i]
-        if not np.isfinite(di) or di >= best:
-            break  # every remaining completion is at least `best`
-        settled[i] = True
-        np.minimum(dist, di + weights[i], out=dist)
-        completion = di + dt[i]
-        if completion < best:
-            best = completion
-    return float(best)
+    return resolve_kernel(kernel).aux_dijkstra(plan.weights, ds, dt, best_single)

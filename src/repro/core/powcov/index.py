@@ -36,6 +36,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ...graph.labeled_graph import EdgeLabeledGraph
+from ...kernels import kernel_name
 from ...obs.trace import span
 from ...perf.parallel import ParallelConfig, resolve_parallel, run_tasks
 from ..trie import LabelSetTrie
@@ -173,8 +174,14 @@ class PowCovIndex(DistanceOracle):
     # Build
     # ------------------------------------------------------------------
     def _build_task_extra(self) -> dict:
-        """Picklable build parameters shipped to workers (subclass hook)."""
-        return {"builder": self.builder}
+        """Picklable build parameters shipped to workers (subclass hook).
+
+        The kernel is resolved to its *concrete* backend name here, in the
+        parent: worker processes do not inherit ``set_default_kernel``
+        state, and shipping the resolved name keeps every worker (and the
+        serial path) on the same backend deterministically.
+        """
+        return {"builder": self.builder, "kernel": kernel_name()}
 
     def _build_one(self, landmark: int, graph=None) -> LandmarkSPMinimal:
         graph = self.graph if graph is None else graph
@@ -200,6 +207,7 @@ class PowCovIndex(DistanceOracle):
             builder=self.builder,
             storage=self.storage,
             backend=config.backend,
+            kernel=kernel_name(),
         ) as build_span:
             build_span.count("landmarks", len(self.landmarks))
             items: list[tuple[int, int]] = [(x, 0) for x in self.landmarks]
@@ -513,14 +521,17 @@ def _build_landmark_inner(
 
         return weighted_sp_minimal(graph, landmark, weights)
     builder = extra["builder"]
+    kernel = extra.get("kernel")
     if builder == "brute":
         return brute_force_sp_minimal(graph, landmark)
     if builder == "traverse-paper":
         return traverse_powerset(graph, landmark)
     if builder == "wave":
-        return traverse_powerset_waves(graph, landmark, use_obs4=False)
+        return traverse_powerset_waves(
+            graph, landmark, use_obs4=False, kernel=kernel
+        )
     if builder == "wave-paper":
-        return traverse_powerset_waves(graph, landmark)
+        return traverse_powerset_waves(graph, landmark, kernel=kernel)
     return traverse_powerset(graph, landmark, use_obs4=False)
 
 

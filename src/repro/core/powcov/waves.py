@@ -45,6 +45,7 @@ from ...graph.traversal import (
     label_filter,
     monochromatic_sp_labels,
 )
+from ...kernels import KernelBackend, resolve_kernel
 from ...obs.metrics import metrics_enabled
 from ...obs.metrics import registry as _metrics_registry
 from ...obs.trace import span, tracing_enabled
@@ -141,6 +142,7 @@ def traverse_powerset_waves(
     use_obs3: bool = True,
     use_obs4: bool = True,
     batch_rows: int = 1024,
+    kernel: "str | KernelBackend | None" = None,
 ) -> LandmarkSPMinimal:
     """Algorithm 2 restructured into batched cardinality waves.
 
@@ -149,9 +151,14 @@ def traverse_powerset_waves(
     pruning-ablation benchmark, mirroring the scalar builder.
     ``batch_rows`` caps the rows per batched-BFS call so very wide waves
     (large ``C(|L|, k)``) are chunked without changing the result.
+    ``kernel`` selects the :mod:`repro.kernels` backend that runs the
+    MS-BFS sweeps and the Theorem 2 one-removed pass (``None`` = process
+    default); every backend is bit-identical, so this only moves
+    wall-clock time.
     """
     if batch_rows < 1:
         raise ValueError("batch_rows must be >= 1")
+    backend = resolve_kernel(kernel)
     result = LandmarkSPMinimal(landmark=landmark)
     universe = full_mask(graph.num_labels)
     if use_obs1:
@@ -186,12 +193,12 @@ def traverse_powerset_waves(
 
     for wave in wave_schedule(candidates):
         size = popcount(wave[0])
-        with span("powcov.wave", size=size) as wave_span:
+        with span("powcov.wave", size=size, kernel=backend.name) as wave_span:
             dist = np.empty((len(wave), n), dtype=np.int32)
             for lo in range(0, len(wave), batch_rows):
                 chunk = wave[lo : lo + batch_rows]
                 raw = batched_constrained_bfs(
-                    graph, [landmark] * len(chunk), masks=chunk
+                    graph, [landmark] * len(chunk), masks=chunk, kernel=backend
                 )
                 dist[lo : lo + len(chunk)] = np.where(raw == UNREACHABLE, BIG, raw)
             result.num_sssp += len(wave)
@@ -209,7 +216,6 @@ def traverse_powerset_waves(
 
             # Theorem 2, one stacked sweep: gather each mask's one-removed
             # subset rows from the previous wave and minimum-reduce them.
-            best: np.ndarray | None = None
             if size >= 2:
                 pad = prev_rows.shape[0] - 1
                 sub_rows = np.full((len(wave), size), pad, dtype=np.int64)
@@ -218,12 +224,12 @@ def traverse_powerset_waves(
                         row = prev_index.get(sub)
                         if row is not None:
                             sub_rows[i, j] = row
-                best = prev_rows[sub_rows[:, 0]]
-                for j in range(1, size):
-                    np.minimum(best, prev_rows[sub_rows[:, j]], out=best)
-            passes_theorem2 = (
-                candidate if best is None else dist < best
-            )  # singletons have no nonzero subsets: every candidate passes
+                passes_theorem2 = backend.one_removed_pass(
+                    dist, prev_rows, sub_rows
+                )
+            else:
+                # singletons have no nonzero subsets: every candidate passes
+                passes_theorem2 = candidate
 
             emitted = 0
             if not use_obs4:

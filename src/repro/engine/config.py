@@ -24,12 +24,20 @@ class EngineConfig:
     :class:`~repro.analysis.audit.AuditError` on any violation.  It is
     off by default — the audits re-derive distances with constrained BFS
     and are far too slow for production query serving.
+
+    ``kernel`` selects the :mod:`repro.kernels` backend sessions use for
+    their compiled query loops (currently the ChromLand auxiliary-graph
+    Dijkstra): one of ``"numpy"``/``"numba"``/``"cext"``/``"auto"`` or
+    ``None`` for the process default chain (``set_default_kernel`` →
+    ``REPRO_KERNEL`` env → ``"auto"``).  Backends are bit-identical, so
+    this only ever changes latency.
     """
 
     enabled: bool = False
     cache_size: int = 4096
     plan_cache_size: int = 128
     audit: bool = False
+    kernel: str | None = None
 
 
 _DEFAULT = EngineConfig()

@@ -45,6 +45,7 @@ from ..core.naive import NaivePowersetIndex
 from ..core.powcov import PowCovIndex
 from ..core.types import INF, DistanceOracle
 from ..graph.traversal import UNREACHABLE
+from ..kernels import KernelBackend, resolve_kernel
 from .plan import MaskGroup
 
 __all__ = [
@@ -69,6 +70,10 @@ class OracleExecutor(Generic[OracleT, PlanT]):
 
     def __init__(self, oracle: OracleT) -> None:
         self.oracle: OracleT = oracle
+        #: Resolved compiled-kernel backend for the executor's hot loops.
+        #: Sessions overwrite this from ``EngineConfig.kernel``; the
+        #: default follows the process chain.  Bit-identical either way.
+        self.kernel: KernelBackend = resolve_kernel(None)
 
     def prepare_mask(self, label_mask: int) -> PlanT:
         """Build the reusable per-mask state (cached by the session)."""
@@ -349,7 +354,7 @@ class ChromLandExecutor(OracleExecutor[ChromLandIndex, _ChromLandMaskPlan]):
             estimates = np.empty(ds.shape[1], dtype=np.float64)
             for i in range(ds.shape[1]):
                 estimates[i] = auxiliary_distance_from_plan(
-                    mask_plan.auxiliary, ds[:, i], dt[:, i]
+                    mask_plan.auxiliary, ds[:, i], dt[:, i], kernel=self.kernel
                 )
             out[live] = estimates
         return out

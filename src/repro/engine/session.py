@@ -36,6 +36,7 @@ from typing import Any
 import numpy as np
 
 from ..core.types import DistanceOracle
+from ..kernels import KernelBackend, resolve_kernel
 from ..obs.metrics import metrics_enabled
 from ..obs.metrics import registry as _metrics_registry
 from ..obs.trace import span
@@ -64,6 +65,12 @@ class QuerySession:
         before serving anything, raising
         :class:`~repro.analysis.audit.AuditError` on a violation.  Slow —
         the auditors re-derive distances with constrained BFS.
+    kernel:
+        :mod:`repro.kernels` backend for the executor's compiled query
+        loops (``EngineConfig.kernel``): a backend name, a resolved
+        backend instance, or ``None`` for the process default.  Resolved
+        once here — the hot path never re-probes.  All backends answer
+        bit-identically.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class QuerySession:
         cache_size: int = 4096,
         plan_cache_size: int = 128,
         audit: bool = False,
+        kernel: "str | KernelBackend | None" = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -84,7 +92,9 @@ class QuerySession:
 
             assert_clean(audit_oracle(oracle))
         self.oracle = oracle
+        self.kernel: KernelBackend = resolve_kernel(kernel)
         self.executor: OracleExecutor[Any, Any] = executor_for(oracle)
+        self.executor.kernel = self.kernel
         self.cache_size = cache_size
         self.plan_cache_size = plan_cache_size
         self.stats = Instrumentation()
@@ -143,6 +153,7 @@ class QuerySession:
         previous_fingerprint = self._fingerprint
         self.oracle = oracle
         self.executor = executor_for(oracle)
+        self.executor.kernel = self.kernel
         self._fingerprint = self._oracle_fingerprint(oracle)
         self._check_stored_fingerprint(oracle)
         self._plans.clear()

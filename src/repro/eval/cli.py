@@ -88,6 +88,15 @@ def main(argv: list[str] | None = None) -> int:
                         "batched multi-mask BFS; the built index is "
                         "bit-identical either way, only build time and "
                         "memory differ")
+    parser.add_argument("--kernel", choices=["numpy", "numba", "cext", "auto"],
+                        default=None,
+                        help="compiled-kernel backend for the hot loops "
+                        "(MS-BFS sweeps, Theorem 2 pass, auxiliary "
+                        "Dijkstra): 'numba' or 'cext' need the optional "
+                        "native toolchain and fall back to numpy with a "
+                        "single warning when unavailable; 'auto' (the "
+                        "default) probes numba then cext silently; all "
+                        "backends produce bit-identical results")
     parser.add_argument("--engine", action="store_true",
                         help="answer queries through the batch engine "
                         "(vectorized, cached QuerySession); answers are "
@@ -179,6 +188,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..core.powcov import set_default_builder
 
         set_default_builder("wave")
+    if args.kernel is not None:
+        from ..kernels import set_default_kernel
+
+        set_default_kernel(args.kernel)
     if args.save_index and args.load_index:
         parser.error("--save-index and --load-index are mutually exclusive; "
                      "--save-index already reuses cached indexes")
@@ -200,7 +213,7 @@ def main(argv: list[str] | None = None) -> int:
 
         set_default_engine(
             EngineConfig(enabled=True, cache_size=args.cache_size,
-                         audit=args.audit)
+                         audit=args.audit, kernel=args.kernel)
         )
         reset_global()
     if args.selfcheck:

@@ -68,6 +68,7 @@ def _answer_workload(
         cache_size=config.cache_size,
         plan_cache_size=config.plan_cache_size,
         audit=config.audit,
+        kernel=config.kernel,
     )
     estimates = session.run([(q.source, q.target, q.label_mask) for q in queries])
     session.publish_stats()
@@ -159,6 +160,7 @@ def time_oracle(
             cache_size=config.cache_size,
             plan_cache_size=config.plan_cache_size,
             audit=config.audit,
+            kernel=config.kernel,
         )
         triples = [(q.source, q.target, q.label_mask) for q in queries]
         started = time.perf_counter()

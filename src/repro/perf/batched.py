@@ -38,6 +38,7 @@ import numpy as np
 from ..graph.labeled_graph import EdgeLabeledGraph
 from ..graph.labelsets import full_mask
 from ..graph.traversal import UNREACHABLE, label_filter
+from ..kernels import KernelBackend, resolve_kernel
 
 __all__ = ["batched_constrained_bfs", "exact_workload_distances"]
 
@@ -45,71 +46,6 @@ __all__ = ["batched_constrained_bfs", "exact_workload_distances"]
 #: smaller ones stay on the sparse frontier expansion, whose cost scales
 #: with the touched subgraph rather than with whole-arc sweeps.
 _BITSET_MIN_ROWS = 4
-
-
-def _bitset_constrained_bfs(
-    graph: EdgeLabeledGraph,
-    source_arr: np.ndarray,
-    allowed: np.ndarray,
-    dist: np.ndarray,
-    max_level: int | None,
-) -> None:
-    """Bit-parallel multi-source constrained BFS (MS-BFS style).
-
-    Rows are packed 64 to a ``uint64`` lane: ``frontier[v]`` holds one bit
-    per row whose BFS front currently contains ``v``, and a level expands
-    *every* row of a chunk with one full-arc sweep — gather the frontier
-    word of each arc's source, AND it with the arc label's row mask, and
-    OR-reduce per target vertex (``np.bitwise_or.reduceat`` over the
-    in-arc CSR).  Per-level cost is therefore independent of how many
-    rows the chunk holds, which is what makes wide PowCov waves cheap.
-    Writes levels into ``dist`` in place (rows already seeded with 0 at
-    their sources).
-    """
-    in_graph = graph.reversed()
-    in_indptr, in_neighbors = in_graph.indptr, in_graph.neighbors
-    in_labels = in_graph.edge_labels
-    n = graph.num_vertices
-    num_arcs = len(in_neighbors)
-    if num_arcs == 0:
-        return
-    seg_starts = in_indptr[:-1]
-    # Reduce over non-empty segments only, then scatter.  Empty segments
-    # have zero width, so consecutive non-empty starts are exact segment
-    # boundaries — and no reduceat index can go out of range or (the
-    # subtle failure) truncate the preceding vertex's arc range the way a
-    # clamped trailing start would.
-    nonempty_idx = np.nonzero(in_indptr[1:] != seg_starts)[0]
-    nonempty_starts = seg_starts[nonempty_idx]
-    for lo in range(0, len(source_arr), 64):
-        chunk_rows = min(64, len(source_arr) - lo)
-        row_bits = np.uint64(1) << np.arange(chunk_rows, dtype=np.uint64)
-        # ``label_bits[l]``: the rows of this chunk whose mask allows ``l``.
-        label_bits = (allowed[lo : lo + chunk_rows].astype(np.uint64)
-                      * row_bits[:, None]).sum(axis=0)
-        frontier = np.zeros(n, dtype=np.uint64)
-        np.bitwise_or.at(frontier, source_arr[lo : lo + chunk_rows], row_bits)
-        visited = frontier.copy()
-        level = 0
-        while True:
-            level += 1
-            if max_level is not None and level > max_level:
-                break
-            contrib = frontier[in_neighbors] & label_bits[in_labels]
-            reached = np.zeros(n, dtype=np.uint64)
-            reached[nonempty_idx] = np.bitwise_or.reduceat(
-                contrib, nonempty_starts
-            )
-            new = reached & ~visited
-            hit = np.nonzero(new)[0]
-            if hit.size == 0:
-                break
-            visited |= new
-            cols = (new[hit][:, None] >> np.arange(chunk_rows, dtype=np.uint64)
-                    ) & np.uint64(1)
-            vv, rr = np.nonzero(cols)
-            dist[lo + rr, hit[vv]] = level
-            frontier = new
 
 
 def _allowed_table(
@@ -140,6 +76,7 @@ def batched_constrained_bfs(
     mask: int | None = None,
     masks: "Sequence[int] | np.ndarray | None" = None,
     max_level: int | None = None,
+    kernel: "str | KernelBackend | None" = None,
 ) -> np.ndarray:
     """C-constrained BFS from many sources in one frontier-expansion loop.
 
@@ -159,6 +96,12 @@ def batched_constrained_bfs(
         Optional early-exit distance bound: expansion stops after the
         ``max_level`` frontier, leaving strictly farther vertices marked
         unreachable.  ``None`` (default) runs every row to exhaustion.
+    kernel:
+        Which :mod:`repro.kernels` backend runs the sweep: a backend
+        name (``"numpy"``/``"numba"``/``"cext"``/``"auto"``), an already
+        resolved backend instance, or ``None`` for the process default
+        (``set_default_kernel`` → ``REPRO_KERNEL`` → ``"auto"``).  All
+        backends are bit-identical; only wall-clock time changes.
 
     Returns
     -------
@@ -181,11 +124,43 @@ def batched_constrained_bfs(
     if max_level is not None and max_level < 0:
         raise ValueError("max_level must be non-negative")
     allowed, per_source = _allowed_table(graph, num_sources, mask, masks)
+    backend = resolve_kernel(kernel)
+    level_cap = -1 if max_level is None else int(max_level)
 
     rows64 = np.arange(num_sources, dtype=np.int64)
     dist[rows64, source_arr] = 0
     if per_source and num_sources >= _BITSET_MIN_ROWS:
-        _bitset_constrained_bfs(graph, source_arr, allowed, dist, max_level)
+        in_graph = graph.reversed()
+        backend.msbfs_bitset(
+            in_graph.indptr,
+            in_graph.neighbors,
+            in_graph.edge_labels,
+            n,
+            source_arr,
+            allowed,
+            dist,
+            level_cap,
+        )
+        return dist
+    # Sparse path: compiled backends run one sequential BFS per row and
+    # return True; the numpy backend declines (False) so the vectorized
+    # label-grouped-CSR expansion below keeps serving it.  The broadcast
+    # for a shared mask is zero-copy (numpy never touches it).
+    allowed2d = (
+        allowed
+        if per_source
+        else np.broadcast_to(allowed, (num_sources, allowed.shape[0]))
+    )
+    if backend.msbfs_sparse(
+        graph.indptr,
+        graph.neighbors,
+        graph.edge_labels,
+        n,
+        source_arr,
+        allowed2d,
+        dist,
+        level_cap,
+    ):
         return dist
     dist_flat = dist.reshape(-1)
     # 32-bit addressing whenever the flat (row, vertex) space fits: the

@@ -1,0 +1,13 @@
+# lint-module: repro/engine/session.py
+"""Fixture: kernel backends resolved through the public registry; other
+private-module imports stay legal."""
+
+from __future__ import annotations
+
+from repro.kernels import KernelBackend, resolve_kernel
+
+from ._plan_cache import PlanCache  # private, but not a kernel backend
+
+
+def make(name: str | None) -> KernelBackend:
+    return resolve_kernel(name) or PlanCache

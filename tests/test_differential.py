@@ -44,17 +44,37 @@ from repro.engine import QuerySession, execute_batch
 from repro.engine.executors import PowCovExecutor
 from repro.graph.generators import labeled_erdos_renyi
 from repro.graph.labeled_graph import EdgeLabeledGraph
+from repro.kernels import available_kernels, set_default_kernel
 from repro.perf.parallel import SERIAL, ParallelConfig
 
 THREADS = ParallelConfig(num_workers=2, backend="thread", chunk_size=1)
 BACKENDS = {"serial": SERIAL, "thread": THREADS}
 POWCOV_BUILDERS = ("traverse", "wave")
+#: Kernel axis: every backend importable here (numpy always; numba and the
+#: on-demand C extension when their toolchains are present).
+AVAILABLE_KERNELS = available_kernels()
 
 DIFFERENTIAL = settings(
     max_examples=int(os.environ.get("REPRO_HYPOTHESIS_EXAMPLES", "10")),
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # The ``kernel`` fixture only flips an idempotent process default,
+        # so sharing it across hypothesis examples is intentional.
+        HealthCheck.function_scoped_fixture,
+    ],
 )
+
+
+@pytest.fixture(params=AVAILABLE_KERNELS)
+def kernel(request):
+    """Run the decorated test once per available kernel backend."""
+    set_default_kernel(request.param)
+    try:
+        yield request.param
+    finally:
+        set_default_kernel(None)
 
 
 # ----------------------------------------------------------------------
@@ -134,9 +154,10 @@ def violation_profile(estimates: list[float], exact: list[float]):
 class TestDifferential:
     @DIFFERENTIAL
     @given(small_graphs())
-    def test_exact_oracles_match_ground_truth(self, graph):
+    def test_exact_oracles_match_ground_truth(self, kernel, graph):
         """PowCov (both builders, both backends) and the naive index are
-        exact, on every executor path — Theorem 1 with a vertex cover."""
+        exact, on every executor path and kernel — Theorem 1 with a
+        vertex cover."""
         truth = list(all_pairs_all_masks(graph))
         queries = [(s, t, m) for s, t, m, _ in truth]
         exact = [d for _, _, _, d in truth]
@@ -148,18 +169,55 @@ class TestDifferential:
                     parallel=backend
                 )
                 assert_paths_agree(
-                    oracle, queries, exact, f"powcov[{builder}/{backend_name}]"
+                    oracle,
+                    queries,
+                    exact,
+                    f"powcov[{builder}/{backend_name}/{kernel}]",
                 )
 
         naive = NaivePowersetIndex(graph, cover).build()
-        assert_paths_agree(naive, queries, exact, "naive")
+        assert_paths_agree(naive, queries, exact, f"naive[{kernel}]")
 
     @DIFFERENTIAL
     @given(small_graphs())
-    def test_chromland_bound_and_backend_consistency(self, graph):
+    def test_kernels_agree_bit_for_bit(self, graph):
+        """Every available kernel backend reproduces the numpy answers
+        exactly — including ChromLand's *approximate* ones, where the
+        compiled Dijkstra must replay numpy's IEEE operation order."""
+        truth = list(all_pairs_all_masks(graph))
+        queries = [(s, t, m) for s, t, m, _ in truth]
+
+        k = min(4, graph.num_vertices)
+        landmarks = list(range(k))
+        colors = [i % graph.num_labels for i in range(k)]
+
+        answers = {}
+        for name in AVAILABLE_KERNELS:
+            set_default_kernel(name)
+            try:
+                powcov = PowCovIndex(
+                    graph, range(min(3, graph.num_vertices)), builder="wave"
+                ).build()
+                chrom = ChromLandIndex(graph, landmarks, colors).build()
+                answers[name] = (
+                    answers_via(powcov, queries, "batch"),
+                    answers_via(chrom, queries, "session"),
+                )
+            finally:
+                set_default_kernel(None)
+
+        reference = answers["numpy"]
+        for name, got in answers.items():
+            assert got == reference, (
+                f"kernel {name!r} diverged from the numpy reference"
+            )
+
+    @DIFFERENTIAL
+    @given(small_graphs())
+    def test_chromland_bound_and_backend_consistency(self, kernel, graph):
         """ChromLand respects the Theorem 5 upper bound and its
         approximation profile is identical across build backends and
-        executor paths."""
+        executor paths (under every kernel)."""
         truth = list(all_pairs_all_masks(graph))
         queries = [(s, t, m) for s, t, m, _ in truth]
         exact = [d for _, _, _, d in truth]
@@ -176,7 +234,7 @@ class TestDifferential:
             reference = answers_via(oracle, queries, "scalar")
             # All executor paths agree with the scalar reference.
             assert_paths_agree(
-                oracle, queries, reference, f"chromland[{backend_name}]"
+                oracle, queries, reference, f"chromland[{backend_name}/{kernel}]"
             )
             # Upper bound holds; record which queries are approximate.
             profiles[backend_name] = violation_profile(reference, exact)

@@ -37,6 +37,7 @@ VIOLATIONS = {
     "REPRO006": ("repro006_violation.py", 1),
     "REPRO007": ("repro007_violation.py", 4),
     "REPRO008": ("repro008_violation.py", 5),
+    "REPRO014": ("repro014_violation.py", 4),
 }
 
 CLEAN = {
@@ -49,6 +50,7 @@ CLEAN = {
     "REPRO006": "repro006_clean.py",
     "REPRO007": "repro007_clean.py",
     "REPRO008": "repro008_clean.py",
+    "REPRO014": "repro014_clean.py",
 }
 
 
