@@ -158,6 +158,8 @@ _PRINT_ALLOWED = (
     "analysis/lint.py",
     "analysis/flow.py",
     "analysis/__main__.py",
+    "serve/__main__.py",
+    "serve/loadgen.py",
 )
 #: Package subtree that owns the private kernel backends (REPRO014).
 _KERNEL_OWNER_PREFIX = "kernels/"

@@ -9,6 +9,12 @@ Counter glossary (see also docs/ALGORITHMS.md):
 
 ``queries``
     Queries submitted to the session (scalar + batch).
+``queries_total``
+    Process-wide aggregate only: logical queries submitted across *all*
+    sessions and one-shot ``execute_batch`` calls.  Unlike the published
+    per-session counters it is bumped directly in the metrics registry at
+    submission time, exactly once per query — mask-group splitting,
+    cache routing, and repeated ``publish_stats`` calls never change it.
 ``cache_hits`` / ``cache_misses``
     Answer-cache (``(s, t, mask)`` LRU) outcomes.
 ``cache_evictions``
@@ -54,6 +60,7 @@ __all__ = [
 ]
 
 _COUNTER_ORDER = (
+    "queries_total",
     "queries",
     "cache_hits",
     "cache_misses",

@@ -47,6 +47,20 @@ from .plan import as_triple, plan_batch, to_triple_array
 __all__ = ["QuerySession", "execute_batch"]
 
 
+def _count_logical_queries(n: int) -> None:
+    """Bump the process-wide logical-query counter exactly once per query.
+
+    ``engine.queries_total`` counts queries *submitted for serving* — the
+    number the user asked, independent of how a batch later splits into
+    mask groups, how many land in the answer cache, or how often a
+    session's cumulative stats are (re-)published.  It is the counter the
+    serving layer's throughput accounting and the CLI stats footer report,
+    and the regression tests pin it against known streams.
+    """
+    if n:
+        _metrics_registry().counter("engine.queries_total").inc(n)
+
+
 class QuerySession:
     """A cached, instrumented, batch-native view of one oracle.
 
@@ -102,6 +116,11 @@ class QuerySession:
         self._check_stored_fingerprint(oracle)
         self._answers: OrderedDict[tuple[int, int, int, int], float] = OrderedDict()
         self._plans: OrderedDict[int, Any] = OrderedDict()
+        # Snapshot of what publish_stats() already folded into the global
+        # aggregate, so repeated publishes contribute deltas, never the
+        # whole cumulative counters again.
+        self._published_counters: dict[str, int] = {}
+        self._published_seconds: dict[str, float] = {}
 
     @staticmethod
     def _oracle_fingerprint(oracle: DistanceOracle) -> int:
@@ -237,6 +256,7 @@ class QuerySession:
     def query(self, source: int, target: int, label_mask: int) -> float:
         """Single cached query (scalar path on miss)."""
         self.stats.count("queries")
+        _count_logical_queries(1)
         key = (self._fingerprint, source, target, label_mask)
         cached = self._cache_get(key)
         if cached is not None:
@@ -262,6 +282,7 @@ class QuerySession:
             if not self.cache_size:
                 arr = to_triple_array(queries)
                 self.stats.count("queries", len(arr))
+                _count_logical_queries(len(arr))
                 self.stats.count("batches")
                 run_span.count("queries", len(arr))
                 if len(arr) == 0:
@@ -275,6 +296,7 @@ class QuerySession:
                 queries = [as_triple(q) for q in queries]
             n = len(queries)
             self.stats.count("queries", n)
+            _count_logical_queries(n)
             self.stats.count("batches")
             run_span.count("queries", n)
             if n == 0:
@@ -360,8 +382,29 @@ class QuerySession:
         )
 
     def publish_stats(self) -> None:
-        """Fold this session's stats into the process-wide aggregate."""
-        merge_global(self.stats)
+        """Fold this session's stats into the process-wide aggregate.
+
+        Publishes the *delta* since the previous publish, so a long-lived
+        session (the serving layer publishes periodically, and the stream
+        harness publishes at the end of every run) can call this any
+        number of times without double-counting: the aggregate always
+        reflects each query exactly once.  Historically this merged the
+        full cumulative counters every call, so a session published twice
+        — e.g. once by ``run_stream_throughput`` and once by the CLI
+        footer — inflated the footer's ``queries`` line 2x.
+        """
+        delta = Instrumentation()
+        for name, value in self.stats.counters.items():
+            published = self._published_counters.get(name, 0)
+            if value != published:
+                delta.count(name, value - published)
+        for name, seconds in self.stats.seconds.items():
+            published_s = self._published_seconds.get(name, 0.0)
+            if seconds != published_s:
+                delta.add_seconds(name, seconds - published_s)
+        merge_global(delta)
+        self._published_counters = dict(self.stats.counters)
+        self._published_seconds = dict(self.stats.seconds)
 
     def __repr__(self) -> str:
         return (
@@ -380,6 +423,7 @@ def execute_batch(
     """
     executor = executor_for(oracle)
     plan = plan_batch(queries)
+    _count_logical_queries(plan.num_queries)
     out = np.empty(plan.num_queries, dtype=np.float64)
     for group in plan.groups:
         mask_plan = executor.prepare_mask(group.label_mask)

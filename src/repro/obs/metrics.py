@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import threading
 from bisect import bisect_right
 
@@ -38,6 +39,28 @@ __all__ = [
     "set_metrics",
     "metrics_enabled",
 ]
+
+_PROM_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prometheus_name(name: str) -> str:
+    """A registry metric name as a legal Prometheus metric name.
+
+    Dots (the registry's namespace separator) and any other illegal
+    characters become underscores, and everything is prefixed ``repro_``
+    so the exposition can be scraped next to other exporters without
+    collisions: ``engine.query_seconds.powcov`` →
+    ``repro_engine_query_seconds_powcov``.
+    """
+    return "repro_" + _PROM_SANITIZE_RE.sub("_", name)
+
+
+def _prometheus_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
 
 _METRICS_ENABLED = False
 
@@ -309,6 +332,39 @@ class MetricsRegistry:
         if len(lines) == 1:
             lines.append("  (no metrics recorded)")
         return "\n".join(lines)
+
+    def to_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format (0.0.4).
+
+        Counters and gauges render as single samples; histograms render
+        with their true log-scale bucket boundaries as cumulative
+        ``_bucket{le="..."}`` samples plus ``_sum`` / ``_count``, so a
+        scraper recovers the same quantiles :meth:`Histogram.quantile`
+        interpolates.  This is what the serving layer's ``GET /metrics``
+        endpoint returns.
+        """
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            pname = _prometheus_name(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_prometheus_number(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_prometheus_number(metric.value)}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {pname} histogram")
+                cumulative = 0
+                for bound, bucket in zip(metric._bounds, metric._counts):
+                    cumulative += bucket
+                    lines.append(
+                        f'{pname}_bucket{{le="{_prometheus_number(bound)}"}} '
+                        f"{cumulative}"
+                    )
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{pname}_sum {_prometheus_number(metric.total)}")
+                lines.append(f"{pname}_count {metric.count}")
+        return "\n".join(lines) + "\n"
 
     def reset(self, prefix: str | None = None) -> None:
         """Drop every metric, or only those whose name starts with ``prefix``."""

@@ -1,0 +1,30 @@
+"""HTTP serving layer: registry, micro-batching, asyncio server, loadgen.
+
+Zero-dependency (stdlib asyncio + the repo's own engine): see
+``docs/SERVING.md`` for the endpoint reference and deployment knobs, and
+``python -m repro.serve --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+from .app import ReproServer, ServeApp, ServeConfig, ServerThread
+from .batching import MicroBatcher
+from .http import HttpError, HttpRequest
+from .registry import GraphRegistry, UnknownGraphError, UnknownOracleError
+
+# repro.serve.loadgen (HttpClient / LoadReport / run_loadgen) is NOT
+# re-exported: it doubles as `python -m repro.serve.loadgen`, and importing
+# it here would trip the runpy double-import warning on every CLI launch.
+
+__all__ = [
+    "GraphRegistry",
+    "HttpError",
+    "HttpRequest",
+    "MicroBatcher",
+    "ReproServer",
+    "ServeApp",
+    "ServeConfig",
+    "ServerThread",
+    "UnknownGraphError",
+    "UnknownOracleError",
+]

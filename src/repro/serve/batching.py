@@ -1,0 +1,217 @@
+"""Micro-batching: coalesce concurrent requests into one engine batch.
+
+Concurrent HTTP requests arrive as many tiny query lists; the engine is
+fastest when it executes one large batch (one plan, one mask-group sweep
+per distinct mask).  A :class:`MicroBatcher` sits between the two: every
+request's queries are appended to a pending buffer, and the buffer is
+flushed as **one** ``session.run``-shaped call when either
+
+* the configured coalescing window (default ~2 ms) elapses after the
+  first pending request, or
+* the pending buffer reaches ``max_batch`` queries (closed-loop traffic
+  almost always trips this first, so the window is a latency bound, not
+  a tax).
+
+Ordering and isolation guarantees, property-tested in
+``tests/test_serve.py``:
+
+* **per-request ordering** — each submitter receives exactly its own
+  answers, in its own submission order, regardless of how requests were
+  interleaved into flushes;
+* **error isolation** — if a flushed batch fails as a whole, every
+  pending request is retried individually, so a poison query fails only
+  the request that carried it and every innocent neighbor still gets its
+  answers.
+
+The flush clock is injectable: with ``clock=`` and ``auto_flush=False``
+the batcher never arms real timers — tests drive time explicitly through
+:meth:`poll`, making window semantics deterministic under hypothesis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from collections.abc import Awaitable, Callable, Sequence
+from typing import Union
+
+from ..obs.metrics import registry as _metrics_registry
+
+__all__ = ["MicroBatcher"]
+
+Triple = tuple[int, int, int]
+ExecuteFn = Callable[
+    [list[Triple]], Union[Sequence[float], Awaitable[Sequence[float]]]
+]
+
+
+class _PendingRequest:
+    """One submitter's queries plus the future its answers resolve."""
+
+    __slots__ = ("triples", "future")
+
+    def __init__(
+        self, triples: list[Triple], future: "asyncio.Future[list[float]]"
+    ) -> None:
+        self.triples = triples
+        self.future = future
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``submit`` calls into single engine batches.
+
+    Parameters
+    ----------
+    execute:
+        Called with the concatenated triples of every coalesced request;
+        may return the answers directly or an awaitable of them (the
+        serving app hands back ``run_in_executor`` futures so numpy work
+        leaves the event loop).
+    window:
+        Seconds to wait after the first pending request before flushing.
+        ``0`` disables coalescing-by-time: every submission flushes
+        immediately, which together with ``max_batch=1`` is exactly
+        batch-size-1 serving (the benchmark baseline).
+    max_batch:
+        Flush as soon as this many queries are pending.
+    clock:
+        Monotonic time source for window deadlines (test seam; defaults
+        to the running loop's clock).
+    auto_flush:
+        ``False`` disarms real timers entirely — flushes then happen only
+        via ``max_batch``, :meth:`poll`, or :meth:`flush_now`.
+    """
+
+    def __init__(
+        self,
+        execute: ExecuteFn,
+        window: float = 0.002,
+        max_batch: int = 256,
+        clock: Callable[[], float] | None = None,
+        auto_flush: bool = True,
+    ) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._execute = execute
+        self.window = window
+        self.max_batch = max_batch
+        self._clock = clock
+        self._auto_flush = auto_flush
+        self._pending: list[_PendingRequest] = []
+        self._pending_queries = 0
+        self._timer: asyncio.TimerHandle | None = None
+        self._deadline: float | None = None
+        # Strong refs to in-flight flush tasks (the loop only keeps weak
+        # ones); discarded as each batch completes.
+        self._tasks: set[asyncio.Task[None]] = set()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_running_loop().time()
+
+    async def submit(self, triples: Sequence[Triple]) -> list[float]:
+        """Queue one request's queries; await its answers.
+
+        Returns answers in the request's own submission order.  An empty
+        request resolves immediately with an empty list.
+        """
+        items = [tuple(t) for t in triples]
+        loop = asyncio.get_running_loop()
+        if not items:
+            return []
+        future: "asyncio.Future[list[float]]" = loop.create_future()
+        self._pending.append(_PendingRequest(items, future))
+        self._pending_queries += len(items)
+        if self._pending_queries >= self.max_batch or self.window == 0:
+            self.flush_now()
+        elif self._deadline is None:
+            self._deadline = self._now() + self.window
+            if self._auto_flush:
+                self._timer = loop.call_later(self.window, self.flush_now)
+        return await future
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    @property
+    def pending_queries(self) -> int:
+        return self._pending_queries
+
+    def poll(self) -> bool:
+        """Flush iff the coalescing window has expired; True if flushed.
+
+        The manual-drive counterpart of the armed timer, used with an
+        injected ``clock`` where tests advance time explicitly.
+        """
+        if self._deadline is not None and self._now() >= self._deadline:
+            self.flush_now()
+            return True
+        return False
+
+    def flush_now(self) -> None:
+        """Flush whatever is pending as one batch task, immediately."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._deadline = None
+        if not self._pending:
+            return
+        batch = self._pending
+        self._pending = []
+        self._pending_queries = 0
+        registry = _metrics_registry()
+        registry.counter("serve.batches").inc()
+        registry.counter("serve.batched_requests").inc(len(batch))
+        total = sum(len(p.triples) for p in batch)
+        registry.histogram("serve.batch_size", lo=1.0, hi=1e5).observe(total)
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _call_execute(self, triples: list[Triple]) -> list[float]:
+        result = self._execute(triples)
+        if inspect.isawaitable(result):
+            result = await result
+        answers = list(result)
+        if len(answers) != len(triples):
+            raise RuntimeError(
+                f"execute returned {len(answers)} answers for "
+                f"{len(triples)} queries"
+            )
+        return answers
+
+    async def _run_batch(self, batch: list[_PendingRequest]) -> None:
+        triples = [t for pending in batch for t in pending.triples]
+        try:
+            answers = await self._call_execute(triples)
+        except Exception:
+            # The whole batch failed: isolate the poison request(s) by
+            # retrying each request on its own, so every healthy request
+            # still resolves and only the offender sees the error.
+            _metrics_registry().counter("serve.batch_retries").inc()
+            for pending in batch:
+                await self._resolve_individually(pending)
+            return
+        position = 0
+        for pending in batch:
+            end = position + len(pending.triples)
+            if not pending.future.cancelled():
+                pending.future.set_result(answers[position:end])
+            position = end
+
+    async def _resolve_individually(self, pending: _PendingRequest) -> None:
+        try:
+            answers = await self._call_execute(pending.triples)
+        except Exception as exc:
+            _metrics_registry().counter("serve.request_errors").inc()
+            if not pending.future.cancelled():
+                pending.future.set_exception(exc)
+            return
+        if not pending.future.cancelled():
+            pending.future.set_result(list(answers))

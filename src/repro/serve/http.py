@@ -1,0 +1,193 @@
+"""A minimal, dependency-free HTTP/1.1 codec over asyncio streams.
+
+The serving layer deliberately speaks plain HTTP/1.1 with nothing but the
+stdlib: CI images and production workers need no web framework, and the
+whole wire format stays small enough to audit.  Supported surface:
+
+* request line + headers + ``Content-Length`` bodies (no chunked
+  transfer-encoding, no multipart — every endpoint is JSON);
+* keep-alive connections (HTTP/1.1 default; ``Connection: close``
+  honored both ways);
+* hard limits on header block and body size, answered with 431/413
+  instead of unbounded buffering.
+
+Malformed input never raises out of :func:`read_request` as a stray
+exception type: protocol problems surface as :class:`HttpError` carrying
+the status code the connection handler should answer with, and a cleanly
+closed or half-open socket returns ``None``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import unquote
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "response_bytes",
+    "json_response_bytes",
+    "STATUS_REASONS",
+]
+
+#: Maximum size of the request line + header block, in bytes.
+MAX_HEADER_BYTES = 32 * 1024
+#: Maximum request body size, in bytes (batch queries are bounded anyway).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level problem with the status the peer should receive."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, lowercase headers, body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+
+    @property
+    def segments(self) -> list[str]:
+        """Decoded, non-empty path segments (``/graphs/g1/query`` →
+        ``["graphs", "g1", "query"]``)."""
+        return [unquote(part) for part in self.path.split("/") if part]
+
+    def json(self) -> Any:
+        """The body decoded as JSON; :class:`HttpError` 400 on failure."""
+        if not self.body:
+            raise HttpError(400, "expected a JSON request body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+def _parse_request_line(line: str) -> tuple[str, str, str]:
+    parts = line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    return method.upper(), target, version
+
+
+def _parse_headers(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Read one request off the stream.
+
+    Returns ``None`` when the peer closed the connection cleanly before
+    (or while) sending a request line; raises :class:`HttpError` for
+    anything malformed or over the configured limits.
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "header block exceeds the size limit") from exc
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise HttpError(431, "header block exceeds the size limit")
+
+    try:
+        text = header_block.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable header block") from exc
+    lines = [line for line in text.split("\r\n") if line]
+    if not lines:
+        raise HttpError(400, "empty request")
+    method, target, version = _parse_request_line(lines[0])
+    headers = _parse_headers(lines[1:])
+
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "chunked transfer-encoding is not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "invalid Content-Length header") from exc
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body exceeds the size limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise HttpError(400, "connection closed mid-body") from exc
+
+    path = target.split("?", 1)[0]
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+    return HttpRequest(
+        method=method, path=path, headers=headers, body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one complete response, ready for ``writer.write``."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def json_response_bytes(
+    status: int, payload: Any, keep_alive: bool = True
+) -> bytes:
+    """A JSON response (compact separators; payload must be JSON-clean)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return response_bytes(status, body, keep_alive=keep_alive)

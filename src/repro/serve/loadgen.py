@@ -1,0 +1,330 @@
+"""Closed-loop load generator for the serving layer.
+
+``N`` concurrent clients each hold one keep-alive connection and issue
+query requests back-to-back for a fixed duration — classic closed-loop
+load, so offered concurrency (not an open-loop arrival rate) is the
+control knob and sustained throughput is what the server actually
+absorbed.  Latency is recorded per *request* (not per query) in a
+log-bucket :class:`~repro.obs.metrics.Histogram`, so p50/p95/p99 come
+from the same quantile machinery the rest of the repo reports.
+
+Usable three ways:
+
+* **library** — :func:`run_loadgen` against any base URL (the CI smoke
+  step and ``benchmarks/bench_serving.py`` call this);
+* **CLI** — ``python -m repro.serve.loadgen --url ... --duration 10``,
+  exiting non-zero when ``--max-p99`` / ``--fail-on-error`` bars are
+  violated (the CI gate);
+* **client pieces** — :class:`HttpClient` is a minimal asyncio HTTP/1.1
+  client for one keep-alive connection, reused by the differential
+  harness's ``http`` execution axis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
+
+from ..graph.labelsets import full_mask
+from ..obs.metrics import Histogram
+
+__all__ = ["HttpClient", "LoadReport", "run_loadgen", "main"]
+
+
+class HttpClient:
+    """One keep-alive HTTP/1.1 connection over asyncio streams."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    @classmethod
+    def from_url(cls, url: str) -> "HttpClient":
+        base = url.split("//", 1)[-1].rstrip("/")
+        hostport = base.split("/", 1)[0]
+        host, _, port = hostport.partition(":")
+        return cls(host or "127.0.0.1", int(port) if port else 80)
+
+    async def connect(self, timeout: float = 5.0) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, Any]:
+        """One request/response on the persistent connection.
+
+        Returns ``(status, decoded_json_or_text)``.
+        """
+        if self._writer is None or self._reader is None:
+            await self.connect()
+        assert self._writer is not None and self._reader is not None
+        body = (
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            if payload is not None
+            else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        content_type = headers.get("content-type", "")
+        if raw and content_type.startswith("application/json"):
+            return status, json.loads(raw.decode("utf-8"))
+        return status, raw.decode("utf-8", errors="replace")
+
+
+@dataclass
+class LoadReport:
+    """What a load run measured; JSON-clean via :meth:`to_dict`."""
+
+    requests: int
+    queries: int
+    errors: int
+    duration_seconds: float
+    clients: int
+    batch_size: int
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    mean_seconds: float
+    histogram: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        """Sustained *queries* per second over the whole run."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.queries / self.duration_seconds
+
+    @property
+    def rps(self) -> float:
+        """Sustained requests per second over the whole run."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "queries": self.queries,
+            "errors": self.errors,
+            "duration_seconds": self.duration_seconds,
+            "clients": self.clients,
+            "batch_size": self.batch_size,
+            "qps": self.qps,
+            "rps": self.rps,
+            "latency": {
+                "p50_seconds": self.p50_seconds,
+                "p95_seconds": self.p95_seconds,
+                "p99_seconds": self.p99_seconds,
+                "mean_seconds": self.mean_seconds,
+            },
+            "histogram": self.histogram,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.requests} requests ({self.queries} queries, "
+            f"{self.errors} errors) in {self.duration_seconds:.2f}s — "
+            f"{self.qps:,.0f} qps; latency p50 {self.p50_seconds * 1e3:.2f}ms "
+            f"p95 {self.p95_seconds * 1e3:.2f}ms "
+            f"p99 {self.p99_seconds * 1e3:.2f}ms"
+        )
+
+
+def _random_queries(
+    rng: random.Random, num_vertices: int, num_labels: int, batch_size: int
+) -> list[list[int]]:
+    full = full_mask(num_labels)
+    out = []
+    for _ in range(batch_size):
+        mask = rng.randrange(1, full + 1) if full else 0
+        out.append([
+            rng.randrange(num_vertices), rng.randrange(num_vertices), mask
+        ])
+    return out
+
+
+async def run_loadgen(
+    url: str,
+    graph: str,
+    oracle: str | None = None,
+    clients: int = 8,
+    duration: float = 5.0,
+    batch_size: int = 8,
+    seed: int = 7,
+    connect_timeout: float = 5.0,
+) -> LoadReport:
+    """Drive the server closed-loop; returns the aggregated report."""
+    probe = HttpClient.from_url(url)
+    await probe.connect(timeout=connect_timeout)
+    status, info = await probe.request("GET", "/graphs")
+    await probe.close()
+    if status != 200:
+        raise RuntimeError(f"GET /graphs answered {status}: {info!r}")
+    meta = next(
+        (g for g in info.get("graphs", []) if g.get("name") == graph), None
+    )
+    if meta is None:
+        raise RuntimeError(f"server does not serve graph {graph!r}")
+    num_vertices = int(meta["num_vertices"])
+    num_labels = int(meta["num_labels"])
+
+    latency = Histogram("loadgen.request_seconds", lo=1e-6, hi=100.0)
+    counts = {"requests": 0, "queries": 0, "errors": 0}
+    deadline = perf_counter() + duration
+
+    async def client_loop(client_id: int) -> None:
+        rng = random.Random((seed << 16) ^ client_id)
+        client = HttpClient.from_url(url)
+        await client.connect(timeout=connect_timeout)
+        path = f"/graphs/{graph}/query"
+        try:
+            while perf_counter() < deadline:
+                queries = _random_queries(
+                    rng, num_vertices, num_labels, batch_size
+                )
+                payload: dict[str, Any] = {"queries": queries}
+                if oracle is not None:
+                    payload["oracle"] = oracle
+                started = perf_counter()
+                status, body = await client.request("POST", path, payload)
+                latency.observe(perf_counter() - started)
+                counts["requests"] += 1
+                if status != 200 or not isinstance(body, dict):
+                    counts["errors"] += 1
+                else:
+                    counts["queries"] += len(body.get("distances", ()))
+        finally:
+            await client.close()
+
+    started = perf_counter()
+    results = await asyncio.gather(
+        *(client_loop(i) for i in range(clients)), return_exceptions=True
+    )
+    elapsed = perf_counter() - started
+    for result in results:
+        if isinstance(result, BaseException):
+            counts["errors"] += 1
+
+    return LoadReport(
+        requests=counts["requests"],
+        queries=counts["queries"],
+        errors=counts["errors"],
+        duration_seconds=elapsed,
+        clients=clients,
+        batch_size=batch_size,
+        p50_seconds=latency.p50,
+        p95_seconds=latency.p95,
+        p99_seconds=latency.p99,
+        mean_seconds=latency.mean,
+        histogram=latency.snapshot(),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Closed-loop load generator for repro.serve.",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8321",
+                        help="server base URL")
+    parser.add_argument("--graph", required=True,
+                        help="graph name to query")
+    parser.add_argument("--oracle", default=None,
+                        help="oracle family (server default when omitted)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="run length in seconds")
+    parser.add_argument("--batch-size", type=int, default=8,
+                        help="queries per request")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--connect-timeout", type=float, default=5.0)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--max-p99", type=float, default=None,
+                        help="fail (exit 1) if p99 latency exceeds this "
+                             "many seconds")
+    parser.add_argument("--fail-on-error", action="store_true",
+                        help="fail (exit 1) on any non-2xx response or "
+                             "client error")
+    args = parser.parse_args(argv)
+
+    report = asyncio.run(run_loadgen(
+        url=args.url,
+        graph=args.graph,
+        oracle=args.oracle,
+        clients=args.clients,
+        duration=args.duration,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        connect_timeout=args.connect_timeout,
+    ))
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.out}")
+
+    failed = False
+    if args.fail_on_error and report.errors:
+        print(f"FAIL: {report.errors} errored requests")
+        failed = True
+    if args.max_p99 is not None and report.p99_seconds > args.max_p99:
+        print(
+            f"FAIL: p99 {report.p99_seconds * 1e3:.2f}ms exceeds the "
+            f"{args.max_p99 * 1e3:.2f}ms bar"
+        )
+        failed = True
+    if report.requests == 0:
+        print("FAIL: no requests completed")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

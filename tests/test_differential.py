@@ -6,7 +6,7 @@ cross-product
     {PowCov scalar builder, PowCov wave builder, ChromLand, naive baseline}
   × {serial build, thread-pool build}
   × {scalar ``oracle.query`` loop, vectorized ``execute_batch``,
-     cached ``QuerySession``}
+     cached ``QuerySession``, the ``repro.serve`` HTTP wire}
 
 asserting that
 
@@ -109,18 +109,80 @@ def small_graphs(draw) -> EdgeLabeledGraph:
 # ----------------------------------------------------------------------
 # Harness core
 # ----------------------------------------------------------------------
+_HTTP = {"server": None, "registry": None}
+
+
+def _http_server():
+    """One lazily-booted in-process server shared by every http-path call.
+
+    Each call re-registers the oracle under the same name, so the wire
+    axis costs one registry swap + one POST per oracle instead of a
+    server boot per hypothesis example.
+    """
+    if _HTTP["server"] is None:
+        from repro.serve import (
+            GraphRegistry,
+            ServeApp,
+            ServeConfig,
+            ServerThread,
+        )
+
+        registry = GraphRegistry()
+        app = ServeApp(
+            registry=registry,
+            config=ServeConfig(batch_window=0.0, workers=1),
+        )
+        _HTTP["registry"] = registry
+        _HTTP["server"] = ServerThread(app).start()
+    return _HTTP["server"], _HTTP["registry"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _http_server_teardown():
+    yield
+    if _HTTP["server"] is not None:
+        _HTTP["server"].stop()
+        _HTTP["server"] = _HTTP["registry"] = None
+
+
+def _answers_via_http(oracle, queries) -> list[float]:
+    import http.client
+    import json
+
+    server, registry = _http_server()
+    registry.register("diff", oracle.graph, {"oracle-under-test": oracle})
+    body = json.dumps({
+        "queries": [[int(s), int(t), int(m)] for s, t, m in queries],
+        "oracle": "oracle-under-test",
+    })
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+    try:
+        conn.request(
+            "POST", "/graphs/diff/query", body,
+            {"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200, payload
+    finally:
+        conn.close()
+    return [math.inf if d is None else d for d in payload["distances"]]
+
+
 def answers_via(oracle, queries, path: str) -> list[float]:
-    """Answer ``queries`` through one of the three executor paths."""
+    """Answer ``queries`` through one of the four executor paths."""
     if path == "scalar":
         return [oracle.query(s, t, m) for s, t, m in queries]
     if path == "batch":
         return execute_batch(oracle, queries)
     if path == "session":
         return QuerySession(oracle).run(queries)
+    if path == "http":
+        return _answers_via_http(oracle, queries)
     raise ValueError(path)
 
 
-EXECUTOR_PATHS = ("scalar", "batch", "session")
+EXECUTOR_PATHS = ("scalar", "batch", "session", "http")
 
 
 def assert_paths_agree(oracle, queries, reference: list[float], label: str):

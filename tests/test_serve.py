@@ -1,0 +1,466 @@
+"""Tests for the HTTP serving layer: endpoints, batching, wire identity.
+
+The server under test runs in-process on a background thread bound to an
+ephemeral port (``ServerThread``); clients are plain ``http.client``
+connections, so the full codec — request parsing, routing, JSON bodies,
+keep-alive — is exercised end to end.  The MicroBatcher property test
+drives a fake clock through ``poll()`` so window semantics are
+deterministic under hypothesis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ChromLandIndex,
+    ExactDijkstraOracle,
+    NaivePowersetIndex,
+    PowCovIndex,
+)
+from repro.engine import execute_batch
+from repro.graph.generators import labeled_erdos_renyi
+from repro.graph.labelsets import full_mask
+from repro.landmarks import select_landmarks
+from repro.serve import (
+    GraphRegistry,
+    MicroBatcher,
+    ServeApp,
+    ServeConfig,
+    ServerThread,
+)
+from repro.serve.app import from_wire_distance, wire_distance
+from repro.serve.http import HttpError, HttpRequest
+from repro.serve.loadgen import HttpClient, run_loadgen
+
+
+# ----------------------------------------------------------------------
+# Fixtures: one server over every oracle family
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def graph():
+    return labeled_erdos_renyi(40, 150, num_labels=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def oracles(graph):
+    landmarks = select_landmarks(graph, 8, strategy="degree", seed=0)
+    colors = [i % graph.num_labels for i in range(len(landmarks))]
+    return {
+        "powcov": PowCovIndex(graph, landmarks).build(),
+        "chromland": ChromLandIndex(graph, landmarks, colors).build(),
+        "naive": NaivePowersetIndex(graph, landmarks).build(),
+        "exact": ExactDijkstraOracle(graph),
+    }
+
+
+@pytest.fixture(scope="module")
+def server(graph, oracles):
+    registry = GraphRegistry()
+    registry.register("g", graph, dict(oracles))
+    app = ServeApp(
+        registry=registry,
+        config=ServeConfig(batch_window=0.001, workers=2),
+    )
+    with ServerThread(app) as live:
+        yield live
+
+
+def request_json(server, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(
+            method, path, body, {"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode("utf-8")
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Endpoints
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body = request_json(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["graphs"] == 1
+
+    def test_graphs_listing(self, server, graph):
+        status, body = request_json(server, "GET", "/graphs")
+        assert status == 200
+        (entry,) = body["graphs"]
+        assert entry["name"] == "g"
+        assert entry["num_vertices"] == graph.num_vertices
+        assert entry["num_edges"] == graph.num_edges
+        assert set(entry["oracles"]) == {
+            "powcov", "chromland", "naive", "exact",
+        }
+
+    def test_metrics_prometheus_text(self, server):
+        request_json(server, "GET", "/healthz")  # ensure some traffic
+        status, text = request_json(server, "GET", "/metrics")
+        assert status == 200
+        assert isinstance(text, str)
+        assert "# TYPE repro_serve_http_requests counter" in text
+        assert "repro_serve_http_requests" in text
+
+    def test_single_query_each_family(self, server, oracles):
+        mask = 0b11
+        for kind, oracle in oracles.items():
+            status, body = request_json(
+                server, "POST", "/graphs/g/query",
+                {"source": 1, "target": 7, "mask": mask, "oracle": kind},
+            )
+            assert status == 200, body
+            want = oracle.query(1, 7, mask)
+            assert from_wire_distance(body["distance"]) == want
+            assert body["reachable"] == (not math.isinf(want))
+            assert body["oracle"] == kind
+
+    def test_labels_list_equivalent_to_mask(self, server):
+        _, via_labels = request_json(
+            server, "POST", "/graphs/g/query",
+            {"source": 0, "target": 5, "labels": [0, 2]},
+        )
+        _, via_mask = request_json(
+            server, "POST", "/graphs/g/query",
+            {"source": 0, "target": 5, "mask": 0b101},
+        )
+        assert via_labels["distance"] == via_mask["distance"]
+
+    def test_omitted_mask_is_unconstrained(self, server, graph, oracles):
+        _, body = request_json(
+            server, "POST", "/graphs/g/query", {"source": 2, "target": 9},
+        )
+        # The server reports which family answered the default-oracle
+        # request; the answer must equal that oracle's unconstrained one.
+        want = oracles[body["oracle"]].query(
+            2, 9, full_mask(graph.num_labels)
+        )
+        assert from_wire_distance(body["distance"]) == want
+
+
+class TestWireIdentity:
+    def test_batch_bit_identical_to_execute_batch(
+        self, server, graph, oracles
+    ):
+        """HTTP answers == direct ``execute_batch``, for every family."""
+        import random
+
+        rng = random.Random(5)
+        top = full_mask(graph.num_labels)
+        triples = [
+            (
+                rng.randrange(graph.num_vertices),
+                rng.randrange(graph.num_vertices),
+                rng.randrange(1, top + 1),
+            )
+            for _ in range(60)
+        ]
+        for kind, oracle in oracles.items():
+            status, body = request_json(
+                server, "POST", "/graphs/g/query",
+                {"queries": [list(t) for t in triples], "oracle": kind},
+            )
+            assert status == 200, body
+            want = execute_batch(oracle, triples)
+            got = [from_wire_distance(d) for d in body["distances"]]
+            assert got == want, f"{kind} diverged over the wire"
+
+    def test_unreachable_is_null_on_the_wire(self, server):
+        # A mask with no labels admits no edges: always unreachable
+        # (distinct endpoints).
+        status, body = request_json(
+            server, "POST", "/graphs/g/query",
+            {"source": 0, "target": 1, "mask": 0, "oracle": "exact"},
+        )
+        assert status == 200
+        assert body["distance"] is None
+        assert body["reachable"] is False
+
+    def test_wire_distance_roundtrip(self):
+        for value in (0.0, 1.5, 7.000000000000001, math.inf):
+            assert from_wire_distance(wire_distance(value)) == value
+
+
+class TestMalformedRequests:
+    @pytest.mark.parametrize(
+        "method,path,payload,expected",
+        [
+            ("GET", "/nope", None, 404),
+            ("POST", "/graphs/unknown/query", {"source": 0, "target": 1}, 404),
+            ("POST", "/graphs/g/query",
+             {"source": 0, "target": 1, "oracle": "not-a-family"}, 404),
+            ("POST", "/graphs/g/query", {"source": 0}, 400),
+            ("POST", "/graphs/g/query", {"source": 0, "target": 10**6}, 400),
+            ("POST", "/graphs/g/query", {"source": -1, "target": 1}, 400),
+            ("POST", "/graphs/g/query",
+             {"source": 0, "target": 1, "mask": -5}, 400),
+            ("POST", "/graphs/g/query",
+             {"source": 0, "target": 1, "mask": 1, "labels": [0]}, 400),
+            ("POST", "/graphs/g/query",
+             {"source": 0.5, "target": 1}, 400),
+            ("POST", "/graphs/g/query", {"queries": "nope"}, 400),
+            ("POST", "/graphs/g/query", {"queries": [[1, 2]]}, 400),
+            ("POST", "/graphs/g/query", [1, 2, 3], 400),
+            ("DELETE", "/graphs/g/query", None, 405),
+        ],
+    )
+    def test_4xx(self, server, method, path, payload, expected):
+        status, body = request_json(server, method, path, payload)
+        assert status == expected, body
+        assert "error" in body
+
+    def test_invalid_json_body(self, server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=30
+        )
+        try:
+            conn.request(
+                "POST", "/graphs/g/query", b"{not json",
+                {"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"invalid JSON" in response.read()
+        finally:
+            conn.close()
+
+    def test_missing_body(self, server):
+        status, body = request_json(server, "POST", "/graphs/g/query")
+        assert status == 400
+        assert "JSON" in body["error"]
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher semantics
+# ----------------------------------------------------------------------
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestMicroBatcher:
+    def test_size_trigger_coalesces(self):
+        calls = []
+
+        def execute(triples):
+            calls.append(list(triples))
+            return [float(s + t + m) for s, t, m in triples]
+
+        async def scenario():
+            batcher = MicroBatcher(execute, window=60.0, max_batch=4,
+                                   auto_flush=False)
+            results = await asyncio.gather(
+                batcher.submit([(1, 1, 1), (2, 2, 2)]),
+                batcher.submit([(3, 3, 3), (4, 4, 4)]),
+            )
+            return results
+
+        first, second = run_async(scenario())
+        assert len(calls) == 1  # one coalesced engine call
+        assert first == [3.0, 6.0]
+        assert second == [9.0, 12.0]
+
+    def test_window_zero_flushes_immediately(self):
+        calls = []
+
+        def execute(triples):
+            calls.append(list(triples))
+            return [0.0] * len(triples)
+
+        async def scenario():
+            batcher = MicroBatcher(execute, window=0.0, max_batch=100)
+            await batcher.submit([(0, 0, 1)])
+            await batcher.submit([(0, 0, 1)])
+
+        run_async(scenario())
+        assert len(calls) == 2  # no coalescing: one call per request
+
+    def test_error_isolation(self):
+        """A poison query fails only the request that carried it."""
+
+        def execute(triples):
+            if any(m == 666 for _, _, m in triples):
+                raise ValueError("poison")
+            return [float(m) for _, _, m in triples]
+
+        async def scenario():
+            batcher = MicroBatcher(execute, window=60.0, max_batch=3,
+                                   auto_flush=False)
+            healthy_a = asyncio.ensure_future(batcher.submit([(0, 0, 1)]))
+            poisoned = asyncio.ensure_future(batcher.submit([(0, 0, 666)]))
+            healthy_b = asyncio.ensure_future(batcher.submit([(0, 0, 2)]))
+            done = await asyncio.gather(
+                healthy_a, poisoned, healthy_b, return_exceptions=True
+            )
+            return done
+
+        got_a, got_poison, got_b = run_async(scenario())
+        assert got_a == [1.0]
+        assert got_b == [2.0]
+        assert isinstance(got_poison, ValueError)
+
+    def test_async_execute_fn(self):
+        async def execute(triples):
+            await asyncio.sleep(0)
+            return [1.0] * len(triples)
+
+        async def scenario():
+            batcher = MicroBatcher(execute, window=0.0, max_batch=10)
+            return await batcher.submit([(0, 0, 1), (1, 1, 1)])
+
+        assert run_async(scenario()) == [1.0, 1.0]
+
+    def test_answer_count_mismatch_is_an_error(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda t: [0.0], window=0.0, max_batch=10)
+            return await batcher.submit([(0, 0, 1), (1, 1, 1)])
+
+        with pytest.raises(RuntimeError, match="answers"):
+            run_async(scenario())
+
+    def test_empty_submit(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda t: [], window=60.0, max_batch=4)
+            return await batcher.submit([])
+
+        assert run_async(scenario()) == []
+
+
+# Arrival plans: per-request query lists + the clock advance before each
+# submission (so hypothesis explores windows expiring mid-stream).
+_ARRIVALS = st.lists(
+    st.tuples(
+        st.lists(
+            st.tuples(
+                st.integers(0, 9), st.integers(0, 9), st.integers(1, 7)
+            ),
+            min_size=0,
+            max_size=4,
+        ),
+        st.floats(min_value=0.0, max_value=0.004),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestMicroBatcherProperty:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(arrivals=_ARRIVALS, max_batch=st.integers(1, 8))
+    def test_order_and_values_match_sequential(self, arrivals, max_batch):
+        """For ANY interleaving of arrivals vs window expiry, every request
+        gets exactly the answers a sequential ``execute_batch`` would have
+        produced, in its own order."""
+        executed_batches = []
+
+        def execute(triples):
+            executed_batches.append(list(triples))
+            # Injective in (s, t, m): equality ⇒ right queries, right order.
+            return [s * 10000 + t * 100 + m for s, t, m in triples]
+
+        clock = {"now": 0.0}
+
+        async def scenario():
+            batcher = MicroBatcher(
+                execute,
+                window=0.002,
+                max_batch=max_batch,
+                clock=lambda: clock["now"],
+                auto_flush=False,
+            )
+            futures = []
+            for triples, advance in arrivals:
+                clock["now"] += advance
+                batcher.poll()  # fire the window if this arrival passed it
+                futures.append(
+                    asyncio.ensure_future(batcher.submit(list(triples)))
+                )
+                await asyncio.sleep(0)  # let size-triggered flushes run
+            clock["now"] += 1.0
+            batcher.poll()  # drain the tail
+            return await asyncio.gather(*futures)
+
+        results = asyncio.run(scenario())
+
+        for (triples, _), got in zip(arrivals, results):
+            want = [s * 10000 + t * 100 + m for s, t, m in triples]
+            assert got == want
+        # Conservation: every query executed exactly once, in arrival order.
+        flat_executed = [t for b in executed_batches for t in b]
+        flat_submitted = [
+            tuple(t) for triples, _ in arrivals for t in triples
+        ]
+        assert flat_executed == flat_submitted
+
+
+# ----------------------------------------------------------------------
+# Loadgen + HttpClient against the live server
+# ----------------------------------------------------------------------
+class TestLoadgen:
+    def test_run_loadgen_round_trip(self, server):
+        report = asyncio.run(run_loadgen(
+            url=server.url,
+            graph="g",
+            oracle="powcov",
+            clients=3,
+            duration=0.5,
+            batch_size=4,
+            seed=1,
+        ))
+        assert report.errors == 0
+        assert report.requests > 0
+        assert report.queries == report.requests * 4
+        assert report.p99_seconds >= report.p50_seconds >= 0.0
+        payload = report.to_dict()
+        assert payload["qps"] > 0
+        assert json.dumps(payload)  # JSON-clean
+
+    def test_http_client_maps_errors(self, server):
+        async def scenario():
+            client = HttpClient.from_url(server.url)
+            await client.connect()
+            try:
+                return await client.request(
+                    "POST", "/graphs/missing/query",
+                    {"source": 0, "target": 1},
+                )
+            finally:
+                await client.close()
+
+        status, body = asyncio.run(scenario())
+        assert status == 404
+        assert "error" in body
+
+
+# ----------------------------------------------------------------------
+# Codec units (no socket)
+# ----------------------------------------------------------------------
+class TestHttpCodec:
+    def test_segments_decode(self):
+        request = HttpRequest(method="POST", path="/graphs/my%20graph/query")
+        assert request.segments == ["graphs", "my graph", "query"]
+
+    def test_json_rejects_empty(self):
+        with pytest.raises(HttpError) as excinfo:
+            HttpRequest(method="POST", path="/x").json()
+        assert excinfo.value.status == 400

@@ -139,6 +139,35 @@ class TestStreamThroughput:
         )
         assert "q/s" in report.describe()
 
+    def test_queries_total_counts_each_logical_query_once(self, graph, index):
+        """Regression: the global ``engine.queries_total`` aggregate used to
+        double-count stream queries — ``run_stream_throughput`` merged the
+        session's cumulative counters on every publish, so draining a
+        100-query stream and publishing twice reported 200.  The counter is
+        now bumped once at submission time and ``publish_stats`` publishes
+        deltas, so the footer pins exactly the stream length."""
+        from repro.engine import QuerySession
+        from repro.engine.instrument import global_snapshot, reset_global
+
+        stream = size_skewed_stream(graph, 100, seed=6)
+        reset_global()
+        session = QuerySession(index, cache_size=4096)
+        run_stream_throughput(index, stream, session=session)
+        # Re-publishing an already-published session must change nothing.
+        session.publish_stats()
+        session.publish_stats()
+        snapshot = global_snapshot()
+        assert snapshot.counters["queries_total"] == len(stream)
+        assert snapshot.counters["queries"] == len(stream)
+
+        # A warm replay through the same session: every query still counts
+        # (cache hits are logical queries too), exactly once.
+        run_stream_throughput(index, stream, session=session)
+        snapshot = global_snapshot()
+        assert snapshot.counters["queries_total"] == 2 * len(stream)
+        assert snapshot.counters["queries"] == 2 * len(stream)
+        reset_global()
+
 
 class TestMixedUpdateStream:
     def test_shape_and_determinism(self, graph):
